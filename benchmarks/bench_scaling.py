@@ -1,0 +1,48 @@
+"""Scaling behaviour: runtime and graph size versus dataset size.
+
+Not a paper table — the paper reports no timings — but a downstream
+user needs to know how the engine scales. Blocking keeps candidate
+generation near-linear; the dependency graph grows with the number of
+*plausible* pairs, not quadratically in references.
+"""
+
+from repro.core import EngineConfig, Reconciler
+from repro.datasets import generate_pim_dataset
+from repro.domains import PimDomainModel
+
+
+def _run_at(scale_factor: float):
+    dataset = generate_pim_dataset("B", scale=scale_factor)
+    reconciler = Reconciler(dataset.store, PimDomainModel(), EngineConfig())
+    reconciler.run()
+    return dataset, reconciler
+
+
+def test_scaling_sweep(benchmark, scale):
+    factors = [0.5 * scale, 1.0 * scale, 2.0 * scale]
+
+    def sweep():
+        return [(_factor, *_run_at(_factor)) for _factor in factors]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(
+        f"{'scale':>6s} {'#refs':>7s} {'pairs':>9s} {'nodes':>9s}"
+        f" {'recomp':>8s} {'build_s':>8s} {'iter_s':>8s}"
+    )
+    previous = None
+    for factor, dataset, reconciler in rows:
+        stats = reconciler.stats
+        n_refs = len(dataset.store)
+        print(
+            f"{factor:6.2f} {n_refs:7d} {stats.candidate_pairs:9d}"
+            f" {stats.graph_nodes:9d} {stats.recomputations:8d}"
+            f" {stats.build_seconds:8.2f} {stats.iterate_seconds:8.2f}"
+        )
+        if previous is not None:
+            prev_refs, prev_pairs = previous
+            ref_growth = n_refs / prev_refs
+            pair_growth = stats.candidate_pairs / max(prev_pairs, 1)
+            # Blocking keeps pair growth well below quadratic.
+            assert pair_growth < ref_growth**2
+        previous = (n_refs, stats.candidate_pairs)

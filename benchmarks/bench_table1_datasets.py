@@ -1,0 +1,17 @@
+"""Table 1: dataset properties (reference/entity counts and ratio)."""
+
+from repro.evaluation import render_table1, table1_dataset_properties
+
+
+def test_table1_dataset_properties(benchmark, scale):
+    rows = benchmark.pedantic(
+        table1_dataset_properties, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table1(rows))
+    # Shape assertions: reconciliation must matter on every dataset.
+    for row in rows:
+        assert row["entities"] > 0
+        assert row["ratio"] >= 4.0, f"{row['dataset']} too few refs per entity"
+    cora = next(row for row in rows if row["dataset"] == "Cora")
+    assert 15.0 <= cora["ratio"] <= 25.0

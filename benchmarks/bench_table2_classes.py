@@ -1,0 +1,31 @@
+"""Table 2: average P/R/F per class, InDepDec vs DepGraph, PIM A-D.
+
+Shape under test (the paper's headline claim): DepGraph equals or
+outperforms InDepDec on every class, with the largest recall gains on
+Venue and Person references.
+"""
+
+from repro.evaluation import render_table2, table2_class_averages
+
+
+def test_table2_class_averages(benchmark, scale):
+    rows = benchmark.pedantic(
+        table2_class_averages, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table2(rows))
+    by_class = {row["class"]: row for row in rows}
+    for class_name, row in by_class.items():
+        assert row["DepGraph_f"] >= row["InDepDec_f"] - 0.01, class_name
+    # The venue and person recall gains are the paper's headline.
+    assert (
+        by_class["Venue"]["DepGraph_recall"]
+        > by_class["Venue"]["InDepDec_recall"] + 0.10
+    )
+    assert (
+        by_class["Person"]["DepGraph_recall"]
+        > by_class["Person"]["InDepDec_recall"] + 0.03
+    )
+    # Precision never collapses.
+    for row in rows:
+        assert row["DepGraph_precision"] >= 0.9

@@ -1,0 +1,26 @@
+"""Table 6: effect of negative evidence (constraints) on PIM A.
+
+Shape under test: enforcing constraints recovers precision (fewer
+real-world entities involved in false positives) while keeping recall,
+at a modest dependency-graph size overhead.
+"""
+
+from repro.evaluation import render_table6, table6_constraints
+
+
+def test_table6_constraints(benchmark, scale):
+    rows = benchmark.pedantic(
+        table6_constraints, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table6(rows))
+    by_method = {row["method"]: row for row in rows}
+    with_constraints = by_method["DepGraph"]
+    without = by_method["Non-Constraint"]
+    assert with_constraints["precision"] >= without["precision"]
+    assert (
+        with_constraints["entities_with_false_positives"]
+        <= without["entities_with_false_positives"]
+    )
+    # Constraints cost only a little recall.
+    assert with_constraints["recall"] >= without["recall"] - 0.12

@@ -1,0 +1,25 @@
+"""Table 7: the Cora citation benchmark.
+
+Shape under test: DepGraph's F beats InDepDec's on every class; the
+venue column shows the paper's two-fold propagation effect — a large
+recall jump bought with a precision drop (venues mentioned wrongly in
+citations of one paper get merged too).
+"""
+
+from repro.evaluation import render_table7, table7_cora
+
+
+def test_table7_cora(benchmark):
+    rows = benchmark.pedantic(table7_cora, rounds=1, iterations=1)
+    print()
+    print(render_table7(rows))
+    by_class = {row["class"]: row for row in rows}
+    for row in rows:
+        assert row["DepGraph_f"] >= row["InDepDec_f"] - 0.01, row["class"]
+    venue = by_class["Venue"]
+    # The two-fold venue effect.
+    assert venue["DepGraph_recall"] > venue["InDepDec_recall"] + 0.2
+    assert venue["DepGraph_precision"] < venue["InDepDec_precision"]
+    # Person and article reconciliation stay highly precise.
+    assert by_class["Person"]["DepGraph_precision"] > 0.95
+    assert by_class["Article"]["DepGraph_precision"] > 0.95

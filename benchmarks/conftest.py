@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+``REPRO_SCALE`` controls dataset size for the PIM benchmarks: 1.0 (the
+default) is roughly one tenth of the paper's reference counts and runs
+the whole suite in minutes; 10 approximates the paper's sizes. Cora is
+always generated at its natural size (1295 citations of 112 papers).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))

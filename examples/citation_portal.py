@@ -1,0 +1,66 @@
+"""Deduplicate a citation corpus (the paper's Cora scenario, §5.4).
+
+Generates the Cora-like benchmark — ~1300 noisy citations of 112
+papers — and reconciles papers, authors and venues *collectively*:
+reconciled papers imply reconciled venues and boost author matching,
+which is what lifts venue recall far beyond anything attribute-wise
+matching achieves (Table 7's story, including its precision cost).
+
+Run:  python examples/citation_portal.py
+"""
+
+from repro import CoraDomainModel, EngineConfig, Reconciler, generate_cora_dataset
+from repro.baselines import indepdec_config
+from repro.evaluation import pairwise_scores
+
+
+def main() -> None:
+    print("generating the Cora-like citation corpus ...")
+    dataset = generate_cora_dataset()
+    summary = dataset.summary()
+    print(
+        f"  {summary['references']} references / {summary['entities']} entities "
+        f"(ratio {summary['ratio']})"
+    )
+
+    domain = CoraDomainModel()
+    gold = dataset.gold.entity_of
+    outcomes = {}
+    for label, config in (
+        ("InDepDec", indepdec_config(domain)),
+        ("DepGraph", EngineConfig()),
+    ):
+        result = Reconciler(dataset.store, CoraDomainModel(), config).run()
+        outcomes[label] = result
+        print(f"\n{label}:")
+        for class_name in ("Article", "Person", "Venue"):
+            scores = pairwise_scores(result.clusters(class_name), gold)
+            print(
+                f"  {class_name:8s} P={scores.precision:.3f} "
+                f"R={scores.recall:.3f} F={scores.f_measure:.3f}"
+            )
+
+    # Show one reconciled venue: every surface form gathered together.
+    venue_clusters = sorted(
+        outcomes["DepGraph"].clusters("Venue"), key=len, reverse=True
+    )
+    print("\nlargest reconciled venue cluster — surface forms:")
+    forms = set()
+    for ref_id in venue_clusters[0]:
+        forms.update(dataset.store.get(ref_id).get("name"))
+    for form in sorted(forms)[:12]:
+        print(f"   {form}")
+
+    # And one heavily-cited paper.
+    article_clusters = sorted(
+        outcomes["DepGraph"].clusters("Article"), key=len, reverse=True
+    )
+    top = article_clusters[0]
+    titles = {dataset.store.get(ref_id).first("title") for ref_id in top}
+    print(f"\nmost-cited paper ({len(top)} citations) — title variants seen:")
+    for title in sorted(t for t in titles if t)[:6]:
+        print(f"   {title}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Incremental reconciliation: absorbing new mail without a re-run.
+
+The paper's §7 names incremental reconciliation as future work; this
+library implements it. We reconcile a base desktop once, then "receive"
+a batch of new messages (references held out from the same world) and
+fold them in with :class:`IncrementalReconciler.add` — new references
+are blocked against the retained indexes, scored against *enriched*
+clusters, and only the touched region of the dependency graph
+recomputes.
+
+Run:  python examples/incremental_updates.py
+"""
+
+import time
+
+from repro import (
+    EngineConfig,
+    IncrementalReconciler,
+    PimDomainModel,
+    Reconciler,
+    Reference,
+    ReferenceStore,
+    generate_pim_dataset,
+)
+from repro.evaluation import pairwise_scores
+
+
+def split(dataset, batch_size=60):
+    """Hold out the most recent person references (the "new mail").
+
+    Links into the held-out region are stripped on both sides, exactly
+    what an extractor would produce had those messages not arrived yet.
+    """
+    refs = list(dataset.store)
+    schema = dataset.store.schema
+    person_ids = [ref.ref_id for ref in refs if ref.class_name == "Person"]
+    held = set(person_ids[-batch_size:])
+
+    def strip(ref):
+        values = {}
+        for attr, vals in ref.values.items():
+            if schema.cls(ref.class_name).attribute(attr).is_association:
+                vals = tuple(v for v in vals if v not in held)
+                if not vals:
+                    continue
+            values[attr] = vals
+        return Reference(ref.ref_id, ref.class_name, values, ref.source)
+
+    base = [strip(r) for r in refs if r.ref_id not in held]
+    batch = [strip(r) for r in refs if r.ref_id in held]
+    return base, batch
+
+
+def main() -> None:
+    dataset = generate_pim_dataset("B", scale=0.6)
+    base, batch = split(dataset)
+    gold = dataset.gold.entity_of
+    domain = PimDomainModel()
+    print(f"base: {len(base)} references; new batch: {len(batch)} references")
+
+    started = time.perf_counter()
+    incremental = IncrementalReconciler(
+        ReferenceStore(domain.schema, base), PimDomainModel(), EngineConfig()
+    )
+    incremental.initial()
+    initial_seconds = time.perf_counter() - started
+    before = incremental.reconciler.stats.recomputations
+
+    started = time.perf_counter()
+    result = incremental.add(batch)
+    add_seconds = time.perf_counter() - started
+    delta = incremental.reconciler.stats.recomputations - before
+    scores = pairwise_scores(result.clusters("Person"), gold)
+    print(
+        f"incremental add: {add_seconds:.2f}s, {delta} recomputations "
+        f"(initial run: {initial_seconds:.2f}s) -> Person F={scores.f_measure:.3f}"
+    )
+
+    started = time.perf_counter()
+    full = Reconciler(
+        ReferenceStore(domain.schema, base + batch), PimDomainModel(), EngineConfig()
+    )
+    full_result = full.run()
+    full_seconds = time.perf_counter() - started
+    full_scores = pairwise_scores(full_result.clusters("Person"), gold)
+    print(
+        f"full re-run:     {full_seconds:.2f}s, "
+        f"{full.stats.recomputations} recomputations "
+        f"-> Person F={full_scores.f_measure:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Reconcile a full synthetic desktop (the paper's PIM scenario).
+
+Generates PIM dataset A — a researcher's mailbox plus bibliography
+files, extracted into thousands of Person/Article/Venue references —
+and compares the conventional attribute-wise baseline (InDepDec)
+against the dependency-graph algorithm (DepGraph), exactly the §5.3
+experiment. Prints per-class precision/recall and shows a browsable
+entity: all the presentations the algorithm gathered for one person.
+
+Run:  python examples/personal_information_space.py [scale]
+"""
+
+import sys
+
+from repro import EngineConfig, PimDomainModel, Reconciler, generate_pim_dataset
+from repro.baselines import indepdec_config
+from repro.evaluation import pairwise_scores
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    print(f"generating PIM dataset A at scale {scale} ...")
+    dataset = generate_pim_dataset("A", scale=scale)
+    summary = dataset.summary()
+    print(
+        f"  {summary['references']} references of "
+        f"{summary['entities']} real-world entities "
+        f"(ratio {summary['ratio']})"
+    )
+
+    domain = PimDomainModel()
+    gold = dataset.gold.entity_of
+    results = {}
+    for label, config in (
+        ("InDepDec", indepdec_config(domain)),
+        ("DepGraph", EngineConfig()),
+    ):
+        reconciler = Reconciler(dataset.store, PimDomainModel(), config)
+        results[label] = reconciler.run()
+        print(f"\n{label}:")
+        for class_name in ("Person", "Article", "Venue"):
+            scores = pairwise_scores(results[label].clusters(class_name), gold)
+            partitions = results[label].partition_count(class_name)
+            true_count = dataset.gold.entity_count(class_name)
+            print(
+                f"  {class_name:8s} P={scores.precision:.3f} "
+                f"R={scores.recall:.3f} F={scores.f_measure:.3f}  "
+                f"partitions={partitions} (true: {true_count})"
+            )
+
+    # Browse the owner: the PIM experience the paper motivates.
+    owner = dataset.world.owner
+    print(f"\nthe desktop owner is {owner.name.full} — accounts: {owner.emails}")
+    owner_refs = [
+        ref_id for ref_id, entity in gold.items() if entity == owner.entity_id
+    ]
+    for label in ("InDepDec", "DepGraph"):
+        clusters = [
+            cluster
+            for cluster in results[label].clusters("Person")
+            if any(ref_id in cluster for ref_id in owner_refs)
+        ]
+        print(f"{label}: owner's {len(owner_refs)} references fall into "
+              f"{len(clusters)} partition(s)")
+
+    depgraph_cluster = max(
+        (
+            cluster
+            for cluster in results["DepGraph"].clusters("Person")
+            if any(ref_id in cluster for ref_id in owner_refs)
+        ),
+        key=len,
+    )
+    names, emails = set(), set()
+    for ref_id in depgraph_cluster:
+        reference = dataset.store.get(ref_id)
+        names.update(reference.get("name"))
+        emails.update(reference.get("email"))
+    print(f"gathered presentations: names={sorted(names)[:8]} emails={sorted(emails)}")
+
+
+if __name__ == "__main__":
+    main()

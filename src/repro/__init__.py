@@ -1,0 +1,64 @@
+"""repro — Reference Reconciliation in Complex Information Spaces.
+
+A complete, from-scratch reproduction of Dong, Halevy & Madhavan
+(SIGMOD 2005): the dependency-graph reference-reconciliation algorithm
+("DepGraph") with reconciliation propagation, reference enrichment and
+negative-evidence constraints, plus everything its evaluation needs —
+attribute similarity functions, the PIM and Cora domain models, the
+InDepDec baseline, synthetic benchmark datasets with gold standards,
+and the experiment harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro import Reconciler, EngineConfig, PimDomainModel
+    from repro.core import Reference, ReferenceStore
+
+    domain = PimDomainModel()
+    store = ReferenceStore(domain.schema, my_references)
+    result = Reconciler(store, domain, EngineConfig()).run()
+    for cluster in result.clusters("Person"):
+        print(cluster)
+"""
+
+from .baselines import ablation_config, indepdec_config
+from .core import (
+    FULL,
+    MERGE,
+    PROPAGATION,
+    TRADITIONAL,
+    EngineConfig,
+    IncrementalReconciler,
+    Reconciler,
+    ReconciliationResult,
+    Reference,
+    ReferenceStore,
+    Schema,
+)
+from .datasets import Dataset, generate_cora_dataset, generate_pim_dataset
+from .domains import CoraDomainModel, PimDomainModel
+from .evaluation import pairwise_scores
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ablation_config",
+    "indepdec_config",
+    "FULL",
+    "MERGE",
+    "PROPAGATION",
+    "TRADITIONAL",
+    "EngineConfig",
+    "IncrementalReconciler",
+    "Reconciler",
+    "ReconciliationResult",
+    "Reference",
+    "ReferenceStore",
+    "Schema",
+    "Dataset",
+    "generate_cora_dataset",
+    "generate_pim_dataset",
+    "CoraDomainModel",
+    "PimDomainModel",
+    "pairwise_scores",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Baselines and ablations: InDepDec (§5.2) and the §5.3 mode grid."""
+
+from .indepdec import indepdec_config
+from .modes import (
+    ARTICLE,
+    ATTR_WISE,
+    CONTACT,
+    EVIDENCE_LEVELS,
+    MODES,
+    NAME_EMAIL,
+    EvidenceLevel,
+    ablation_config,
+)
+
+__all__ = [
+    "indepdec_config",
+    "ARTICLE",
+    "ATTR_WISE",
+    "CONTACT",
+    "EVIDENCE_LEVELS",
+    "MODES",
+    "NAME_EMAIL",
+    "EvidenceLevel",
+    "ablation_config",
+]

@@ -1,0 +1,51 @@
+"""The InDepDec baseline (§5.2).
+
+InDepDec is "a candidate standard reference reconciliation approach"
+(Hernandez & Stolfo's merge/purge, McCallum et al.'s reference
+matching): every class reconciled in isolation, every pair decided
+independently from the same attribute-wise similarity functions and
+thresholds as DepGraph, followed by a transitive closure. Concretely
+that means, relative to the full engine:
+
+* no cross-attribute evidence (name-vs-email off),
+* no association evidence (author/venue channels off),
+* no strong- or weak-boolean dependencies,
+* no reconciliation propagation, no reference enrichment,
+* no constraints.
+
+Key attributes are still honoured ("two references are reconciled if
+they agree on key values", §5.4), which is why InDepDec keeps high
+precision on Cora.
+"""
+
+from __future__ import annotations
+
+from ..core.model import TRADITIONAL, DomainModel, EngineConfig
+
+__all__ = ["indepdec_config"]
+
+
+def indepdec_config(domain: DomainModel) -> EngineConfig:
+    """Engine configuration realising InDepDec for *domain*.
+
+    Derives the disable lists from the domain's own wiring, so the
+    baseline stays in sync with whatever channels the domain defines.
+    """
+    cross_and_assoc: set[str] = set()
+    for class_name in domain.schema.class_names:
+        for channel in domain.atomic_channels(class_name):
+            if channel.is_cross:
+                cross_and_assoc.add(channel.name)
+        for channel in domain.association_channels(class_name):
+            cross_and_assoc.add(channel.name)
+    strong = {
+        (dependency.source_class, dependency.target_class)
+        for dependency in domain.strong_dependencies()
+    }
+    weak = {dependency.class_name for dependency in domain.weak_dependencies()}
+    return EngineConfig(
+        constraints=False,
+        disabled_channels=frozenset(cross_and_assoc),
+        disabled_strong=frozenset(strong),
+        disabled_weak=frozenset(weak),
+    ).with_mode(TRADITIONAL)

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — write a synthetic benchmark dataset (PIM A-D / Cora)
+  to a directory as JSON-lines.
+* ``reconcile`` — load a dataset directory, run DepGraph (or InDepDec),
+  and write the resulting partition as JSON.
+* ``evaluate`` — reconcile and score against the dataset's gold
+  standard (pairwise + B-cubed).
+* ``tables`` — regenerate any of the paper's tables on the terminal.
+* ``explain`` — reconcile, then explain why two references did (or did
+  not) end up in one cluster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .baselines import indepdec_config
+from .core import EngineConfig, Reconciler
+from .core.explain import explain_merge
+from .datasets import generate_cora_dataset, generate_pim_dataset
+from .datasets.io import load_dataset, save_dataset
+from .domains import CoraDomainModel, PimDomainModel
+from .evaluation.clustering import bcubed_scores
+from .evaluation.metrics import pairwise_scores
+
+__all__ = ["main", "build_parser"]
+
+
+def _domain_for(dataset_name: str):
+    return CoraDomainModel() if dataset_name.lower().startswith("cora") else PimDomainModel()
+
+
+def _config_for(algorithm: str, domain) -> EngineConfig:
+    if algorithm == "indepdec":
+        return indepdec_config(domain)
+    return EngineConfig()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reference reconciliation in complex information spaces "
+        "(Dong, Halevy & Madhavan, SIGMOD 2005)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="write a synthetic dataset")
+    generate.add_argument("dataset", choices=["A", "B", "C", "D", "cora"])
+    generate.add_argument("directory", help="output directory")
+    generate.add_argument("--scale", type=float, default=1.0)
+
+    reconcile = commands.add_parser("reconcile", help="reconcile a dataset directory")
+    reconcile.add_argument("directory")
+    reconcile.add_argument("--algorithm", choices=["depgraph", "indepdec"],
+                           default="depgraph")
+    reconcile.add_argument("--output", default="-", help="partition JSON (default stdout)")
+
+    evaluate = commands.add_parser("evaluate", help="reconcile and score against gold")
+    evaluate.add_argument("directory")
+    evaluate.add_argument("--algorithm", choices=["depgraph", "indepdec"],
+                          default="depgraph")
+
+    tables = commands.add_parser("tables", help="regenerate a paper table")
+    tables.add_argument(
+        "which",
+        choices=["1", "2", "3", "4", "5", "6", "7", "fig6"],
+    )
+    tables.add_argument("--scale", type=float, default=1.0)
+
+    explain = commands.add_parser("explain", help="why were two references merged?")
+    explain.add_argument("directory")
+    explain.add_argument("ref_a")
+    explain.add_argument("ref_b")
+
+    report = commands.add_parser(
+        "report", help="run all experiments and write a markdown report"
+    )
+    report.add_argument("output", help="output .md path")
+    report.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    if args.dataset == "cora":
+        dataset = generate_cora_dataset()
+    else:
+        dataset = generate_pim_dataset(args.dataset, scale=args.scale)
+    path = save_dataset(dataset, args.directory)
+    summary = dataset.summary()
+    print(
+        f"wrote {summary['references']} references "
+        f"({summary['entities']} entities) to {path}"
+    )
+    return 0
+
+
+def _run(directory: str, algorithm: str):
+    dataset = load_dataset(directory)
+    domain = _domain_for(dataset.name)
+    reconciler = Reconciler(dataset.store, domain, _config_for(algorithm, domain))
+    result = reconciler.run()
+    return dataset, reconciler, result
+
+
+def _cmd_reconcile(args) -> int:
+    dataset, _, result = _run(args.directory, args.algorithm)
+    payload = {
+        class_name: result.clusters(class_name)
+        for class_name in dataset.store.schema.class_names
+    }
+    text = json.dumps(payload, indent=2)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote partition to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    dataset, _, result = _run(args.directory, args.algorithm)
+    if not dataset.gold.entity_of:
+        print("dataset has no gold standard", file=sys.stderr)
+        return 2
+    gold = dataset.gold.entity_of
+    print(f"{args.algorithm} on {dataset.name}:")
+    for class_name in dataset.store.schema.class_names:
+        clusters = result.clusters(class_name)
+        pw = pairwise_scores(clusters, gold)
+        b3 = bcubed_scores(clusters, gold)
+        print(
+            f"  {class_name:10s} pairwise P={pw.precision:.3f} R={pw.recall:.3f} "
+            f"F={pw.f_measure:.3f} | b3 P={b3.precision:.3f} R={b3.recall:.3f} "
+            f"F={b3.f_measure:.3f} | partitions={result.partition_count(class_name)}"
+        )
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from .evaluation import (
+        figure6_series,
+        render_figure6,
+        render_table1,
+        render_table2,
+        render_table3,
+        render_table4,
+        render_table5,
+        render_table6,
+        render_table7,
+        table1_dataset_properties,
+        table2_class_averages,
+        table3_person_subsets,
+        table4_per_dataset,
+        table5_ablation_grid,
+        table6_constraints,
+        table7_cora,
+    )
+
+    scale = args.scale
+    dispatch = {
+        "1": lambda: render_table1(table1_dataset_properties(scale)),
+        "2": lambda: render_table2(table2_class_averages(scale)),
+        "3": lambda: render_table3(table3_person_subsets(scale)),
+        "4": lambda: render_table4(table4_per_dataset(scale)),
+        "5": lambda: render_table5(table5_ablation_grid(scale)),
+        "6": lambda: render_table6(table6_constraints(scale)),
+        "7": lambda: render_table7(table7_cora()),
+        "fig6": lambda: render_figure6(figure6_series(scale)),
+    }
+    print(dispatch[args.which]())
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    dataset, reconciler, _ = _run(args.directory, "depgraph")
+    if args.ref_a not in dataset.store or args.ref_b not in dataset.store:
+        print("unknown reference id", file=sys.stderr)
+        return 2
+    explanation = explain_merge(reconciler, args.ref_a, args.ref_b)
+    print(explanation.describe())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .evaluation.report import write_report
+
+    path = write_report(args.output, scale=args.scale)
+    print(f"wrote report to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "reconcile": _cmd_reconcile,
+        "evaluate": _cmd_evaluate,
+        "tables": _cmd_tables,
+        "explain": _cmd_explain,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

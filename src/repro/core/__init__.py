@@ -1,0 +1,76 @@
+"""The dependency-graph reconciliation engine (the paper's contribution).
+
+Public surface:
+
+* :class:`Schema` / :class:`SchemaClass` / :class:`Attribute` — §2.1's
+  domain model with atomic and association attributes.
+* :class:`Reference` / :class:`ReferenceStore` — extractor output.
+* :class:`DomainModel` / :class:`EngineConfig` — domain wiring and
+  algorithm switches.
+* :class:`Reconciler` — the Figure-4 algorithm.
+* :class:`IncrementalReconciler` — incremental updates (§7 future work).
+"""
+
+from .blocking import BlockingIndex, candidate_pairs
+from .engine import EngineStats, Reconciler
+from .explain import MergeExplanation, MergeStep, explain_merge
+from .graph import DependencyGraph
+from .incremental import IncrementalReconciler
+from .model import (
+    FULL,
+    MERGE,
+    PROPAGATION,
+    TRADITIONAL,
+    AssociationChannel,
+    AtomicChannel,
+    DomainModel,
+    EngineConfig,
+    Mode,
+    StrongDependency,
+    WeakDependency,
+)
+from .nodes import EdgeType, NodeStatus, PairNode, ValueNode, pair_key
+from .partition import ConstraintViolation, UnionFind
+from .queue import ActiveQueue
+from .references import Reference, ReferenceStore
+from .result import ReconciliationResult
+from .schema import Attribute, AttributeKind, Schema, SchemaClass, SchemaError
+
+__all__ = [
+    "BlockingIndex",
+    "candidate_pairs",
+    "EngineStats",
+    "Reconciler",
+    "MergeExplanation",
+    "MergeStep",
+    "explain_merge",
+    "DependencyGraph",
+    "IncrementalReconciler",
+    "FULL",
+    "MERGE",
+    "PROPAGATION",
+    "TRADITIONAL",
+    "AssociationChannel",
+    "AtomicChannel",
+    "DomainModel",
+    "EngineConfig",
+    "Mode",
+    "StrongDependency",
+    "WeakDependency",
+    "EdgeType",
+    "NodeStatus",
+    "PairNode",
+    "ValueNode",
+    "pair_key",
+    "ConstraintViolation",
+    "UnionFind",
+    "ActiveQueue",
+    "Reference",
+    "ReferenceStore",
+    "ReconciliationResult",
+    "Attribute",
+    "AttributeKind",
+    "Schema",
+    "SchemaClass",
+    "SchemaError",
+]

@@ -1,0 +1,639 @@
+"""The reconciliation engine (Figure 4 of the paper).
+
+:class:`Reconciler` wires together the dependency graph, the active
+queue, the union-find partition and a :class:`~repro.core.model.DomainModel`:
+
+1. **Build** — pre-merge references that agree on key values, generate
+   candidate pairs per class by blocking, create pair nodes with their
+   atomic value evidence (two-pass construction of §3.1), wire
+   association / strong / weak dependency edges, and install
+   constraint (non-merge) nodes.
+2. **Iterate** — pop active nodes, recompute S = S_rv + S_sb + S_wb,
+   merge above threshold, propagate activations along typed edges
+   (strong-boolean to the queue front), and enrich by fusing nodes as
+   clusters grow (§3.2-§3.4).
+3. **Close** — the union-find *is* the transitive closure; enemy sets
+   carry the negative evidence through it.
+
+The engine is deliberately configuration-driven so the §5.3 ablations
+(TRADITIONAL / PROPAGATION / MERGE / FULL × evidence subsets) are pure
+config changes, not separate code paths.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from .blocking import BlockingIndex
+from .graph import DependencyGraph
+from .model import DomainModel, EngineConfig
+from .nodes import EdgeType, NodeStatus, PairNode, pair_key
+from .partition import ConstraintViolation, UnionFind
+from .queue import ActiveQueue
+from .references import Reference, ReferenceStore
+from .result import ReconciliationResult
+
+__all__ = ["Reconciler", "EngineStats"]
+
+# Guard against pathological weak-edge fan-out (popular contacts).
+_MAX_WEAK_FANOUT = 20_000
+
+
+@dataclass
+class EngineStats:
+    """Counters exposed for the efficiency experiments and Table 6."""
+
+    pair_nodes: int = 0
+    value_nodes: int = 0
+    graph_nodes: int = 0
+    candidate_pairs: int = 0
+    recomputations: int = 0
+    merges: int = 0
+    non_merges: int = 0
+    premerged_unions: int = 0
+    constraint_pairs: int = 0
+    fusions: int = 0
+    queue_front_pushes: int = 0
+    queue_back_pushes: int = 0
+    build_seconds: float = 0.0
+    iterate_seconds: float = 0.0
+    skipped_weak_fanout: int = 0
+    per_class_nodes: dict[str, int] = field(default_factory=dict)
+
+
+class Reconciler:
+    """Run the dependency-graph reconciliation over a reference store."""
+
+    def __init__(
+        self,
+        store: ReferenceStore,
+        domain: DomainModel,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.store = store
+        self.domain = domain
+        self.config = config or EngineConfig()
+        self.graph = DependencyGraph()
+        self.uf = UnionFind()
+        self.queue = ActiveQueue()
+        self.stats = EngineStats()
+        # Cluster membership and pooled-value caches (enrichment state).
+        self._members: dict[str, list[str]] = {}
+        self._values_cache: dict[str, dict[str, tuple[str, ...]]] = {}
+        self._contacts_cache: dict[str, tuple[int, frozenset[str]]] = {}
+        self._weak_attrs: dict[str, tuple[str, ...]] = {
+            dep.class_name: dep.attrs for dep in domain.weak_dependencies()
+        }
+        # Blocking indexes are retained per class so new references can
+        # be folded in later (incremental reconciliation).
+        self._block_indexes: dict[str, BlockingIndex] = {}
+        self._per_class_nodes: dict[str, list[PairNode]] = {}
+        self._built = False
+
+    def enabled_atomic_channels(self, class_name: str):
+        """The atomic channels active under the current config."""
+        return [
+            channel
+            for channel in self.domain.atomic_channels(class_name)
+            if self.config.channel_enabled(channel.name)
+        ]
+
+    # ------------------------------------------------------------------
+    # element identity: in enrich mode nodes are keyed by cluster roots;
+    # otherwise by raw reference ids.
+    # ------------------------------------------------------------------
+    def _elem(self, ref_id: str) -> str:
+        if self.config.enrich:
+            return self.uf.find(ref_id)
+        return ref_id
+
+    def _element_refs(self, element: str) -> list[Reference]:
+        if self.config.enrich:
+            members = self._members.get(element)
+            if members is None:
+                members = [element]
+            return [self.store.get(ref_id) for ref_id in members]
+        return [self.store.get(element)]
+
+    def _element_values(self, element: str) -> Mapping[str, tuple[str, ...]]:
+        """Pooled attribute values of the element's cluster (enrichment)
+        or the single reference's own values."""
+        if not self.config.enrich:
+            return self.store.get(element).values
+        cached = self._values_cache.get(element)
+        if cached is not None:
+            return cached
+        pooled: dict[str, list[str]] = {}
+        for reference in self._element_refs(element):
+            for attribute, values in reference.values.items():
+                bucket = pooled.setdefault(attribute, [])
+                for value in values:
+                    if value not in bucket:
+                        bucket.append(value)
+        frozen = {attribute: tuple(values) for attribute, values in pooled.items()}
+        self._values_cache[element] = frozen
+        return frozen
+
+    def _element_assoc(self, element: str, attribute: str) -> tuple[str, ...]:
+        return self._element_values(element).get(attribute, ())
+
+    def _contact_roots(self, element: str, class_name: str) -> frozenset[str]:
+        """Roots of all contacts of the element (for weak counts).
+
+        Cached per element, keyed by the union-find version so the
+        cache refreshes after any merge anywhere.
+        """
+        version = self.uf.union_count
+        cached = self._contacts_cache.get(element)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        attrs = self._weak_attrs.get(class_name, ())
+        roots: set[str] = set()
+        for attribute in attrs:
+            for contact_id in self._element_assoc(element, attribute):
+                roots.add(self.uf.find(contact_id))
+        frozen = frozenset(roots)
+        self._contacts_cache[element] = (version, frozen)
+        return frozen
+
+    # ------------------------------------------------------------------
+    # build
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """Construct the dependency graph (two passes of §3.1)."""
+        started = time.perf_counter()
+        self.store.validate()
+        if self.config.premerge_keys:
+            self._premerge_by_keys()
+        self._register_members()
+        class_order = self.domain.class_order()
+        per_class_nodes: dict[str, list[PairNode]] = {}
+        for class_name in class_order:
+            per_class_nodes[class_name] = self._build_class_nodes(class_name)
+        self._per_class_nodes = per_class_nodes
+        self._wire_association_edges(per_class_nodes)
+        self._wire_weak_edges(per_class_nodes)
+        if self.config.constraints:
+            self._install_distinct_pairs()
+        # Seed the queue: class order already respects "values before
+        # the references that depend on them".
+        for class_name in class_order:
+            for node in per_class_nodes[class_name]:
+                if node.status is NodeStatus.ACTIVE:
+                    self.queue.push_back(node.key)
+        self.stats.pair_nodes = self.graph.pair_nodes_created
+        self.stats.value_nodes = self.graph.value_nodes_created
+        self.stats.graph_nodes = self.graph.node_count()
+        self.stats.per_class_nodes = {
+            class_name: len(nodes) for class_name, nodes in per_class_nodes.items()
+        }
+        self.stats.build_seconds = time.perf_counter() - started
+        self._built = True
+
+    def _premerge_by_keys(self) -> None:
+        """§3.4's cheap pre-processing: union references that share a
+        key value (e.g. the exact same email address)."""
+        buckets: dict[str, list[str]] = {}
+        for reference in self.store:
+            for key_value in self.domain.key_values(reference):
+                buckets.setdefault(key_value, []).append(reference.ref_id)
+        for key_value in sorted(buckets):
+            bucket = buckets[key_value]
+            first = bucket[0]
+            for other in bucket[1:]:
+                if self.uf.union(first, other) is not None:
+                    self.stats.premerged_unions += 1
+
+    def _register_members(self) -> None:
+        for reference in self.store:
+            root = self.uf.find(reference.ref_id)
+            self._members.setdefault(root, []).append(reference.ref_id)
+
+    def _build_class_nodes(self, class_name: str) -> list[PairNode]:
+        """Blocking + first-pass node construction for one class."""
+        references = self.store.of_class(class_name)
+        index = BlockingIndex(max_block_size=self.config.max_block_size)
+        self._block_indexes[class_name] = index
+        for reference in references:
+            element = self._elem(reference.ref_id)
+            index.add(element, self.domain.blocking_keys(reference))
+        channels = self.enabled_atomic_channels(class_name)
+        nodes: list[PairNode] = []
+        for left, right in index.pairs():
+            self.stats.candidate_pairs += 1
+            node = self._make_pair_node(class_name, left, right, channels)
+            if node is not None:
+                nodes.append(node)
+        return nodes
+
+    def _make_pair_node(
+        self, class_name: str, left: str, right: str, channels, *, force: bool = False
+    ) -> PairNode | None:
+        """Create a pair node with its atomic value evidence; drop the
+        node when no channel produced any evidence (§3.1 step 2).
+
+        With ``force=True`` (strong dependencies that guarantee the
+        pair "potentially refers to the same entity") the node is
+        created regardless, and even weak value evidence is kept.
+        """
+        if self.uf.connected(left, right):
+            return None
+        left_values = self._element_values(left)
+        right_values = self._element_values(right)
+        floor = 0.02 if force else None
+        evidence: list = []
+        for channel in channels:
+            threshold = channel.liberal_threshold if floor is None else min(
+                channel.liberal_threshold, floor
+            )
+            for value_l, value_r in self._channel_value_pairs(
+                channel, left_values, right_values
+            ):
+                score = channel.comparator(value_l, value_r)
+                if score >= threshold:
+                    evidence.append(
+                        self.graph.value_node(channel.name, value_l, value_r, score)
+                    )
+        if not evidence and not force:
+            return None
+        node = self.graph.add_pair_node(class_name, left, right)
+        for value_node in evidence:
+            node.add_value_evidence(value_node)
+        return node
+
+    @staticmethod
+    def _channel_value_pairs(channel, left_values, right_values):
+        """All comparable value pairs of one channel, both orientations
+        for cross-attribute channels."""
+        for value_l in left_values.get(channel.left_attr, ()):
+            for value_r in right_values.get(channel.right_attr, ()):
+                yield value_l, value_r
+        if channel.is_cross:
+            for value_l in left_values.get(channel.right_attr, ()):
+                for value_r in right_values.get(channel.left_attr, ()):
+                    yield value_r, value_l
+
+    def _wire_association_edges(self, per_class_nodes) -> None:
+        """Second pass of §3.1: edges along association attributes."""
+        strong_templates: dict[str, list] = {}
+        for dependency in self.domain.strong_dependencies():
+            if self.config.strong_enabled(
+                dependency.source_class, dependency.target_class
+            ):
+                strong_templates.setdefault(dependency.source_class, []).append(
+                    dependency
+                )
+        for class_name, nodes in per_class_nodes.items():
+            assoc_channels = [
+                channel
+                for channel in self.domain.association_channels(class_name)
+                if self.config.channel_enabled(channel.name)
+            ]
+            strongs = strong_templates.get(class_name, [])
+            if not assoc_channels and not strongs:
+                continue
+            for node in nodes:
+                for channel in assoc_channels:
+                    self._wire_assoc_channel(node, channel.attr)
+                for dependency in strongs:
+                    self._wire_strong(node, dependency)
+
+    def _linked_element_pairs(self, node: PairNode, attribute: str):
+        """Element pairs linked from the two sides of *node* through
+        *attribute*, with their existing pair node (or None)."""
+        left_targets = self._element_assoc(node.left, attribute)
+        right_targets = self._element_assoc(node.right, attribute)
+        seen: set = set()
+        for target_l in left_targets:
+            element_l = self._elem(target_l)
+            for target_r in right_targets:
+                element_r = self._elem(target_r)
+                if element_l == element_r:
+                    continue
+                key = pair_key(element_l, element_r)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield key, self.graph.get_key(key)
+
+    def _wire_assoc_channel(self, node: PairNode, attribute: str) -> None:
+        for _key, linked in self._linked_element_pairs(node, attribute):
+            if linked is not None:
+                self.graph.add_edge(linked, node, EdgeType.REAL)
+
+    def _wire_strong(self, node: PairNode, dependency) -> None:
+        for key, linked in self._linked_element_pairs(node, dependency.attr):
+            if linked is None and dependency.ensure_target_nodes:
+                linked = self._make_pair_node(
+                    dependency.target_class,
+                    key[0],
+                    key[1],
+                    self.enabled_atomic_channels(dependency.target_class),
+                    force=True,
+                )
+                if linked is not None:
+                    self._per_class_nodes.setdefault(
+                        dependency.target_class, []
+                    ).append(linked)
+                    # The forced node also feeds the source's real-valued
+                    # association channel, mirroring build-time wiring.
+                    self.graph.add_edge(linked, node, EdgeType.REAL)
+                    if self._built:
+                        # Created after the initial seeding (incremental
+                        # add): enqueue directly.
+                        self.queue.push_back(linked.key)
+            if linked is not None:
+                self.graph.add_edge(node, linked, EdgeType.STRONG)
+
+    def _wire_weak_edges(self, per_class_nodes) -> None:
+        """Bidirectional weak-boolean edges between contact pairs and
+        the pairs of references that list them (Figure 2(b))."""
+        for dependency in self.domain.weak_dependencies():
+            if not self.config.weak_enabled(dependency.class_name):
+                continue
+            nodes = per_class_nodes.get(dependency.class_name, [])
+            inverse: dict[str, set[str]] = {}
+            for reference in self.store.of_class(dependency.class_name):
+                owner = self._elem(reference.ref_id)
+                for attribute in dependency.attrs:
+                    for contact_id in reference.get(attribute):
+                        inverse.setdefault(self._elem(contact_id), set()).add(owner)
+            for node in nodes:
+                owners_left = inverse.get(node.left, ())
+                owners_right = inverse.get(node.right, ())
+                if not owners_left or not owners_right:
+                    continue
+                if len(owners_left) * len(owners_right) > _MAX_WEAK_FANOUT:
+                    self.stats.skipped_weak_fanout += 1
+                    continue
+                for owner_l in owners_left:
+                    for owner_r in owners_right:
+                        if owner_l == owner_r:
+                            continue
+                        owner_node = self.graph.get(owner_l, owner_r)
+                        if owner_node is None or owner_node is node:
+                            continue
+                        self.graph.add_edge(node, owner_node, EdgeType.WEAK)
+                        self.graph.add_edge(owner_node, node, EdgeType.WEAK)
+
+    def _install_distinct_pairs(self) -> None:
+        """§3.4 modification 1: non-merge nodes and enemy constraints
+        for pairs known distinct a priori."""
+        for left, right in self.domain.distinct_pairs(self.store):
+            element_l = self._elem(left)
+            element_r = self._elem(right)
+            if element_l == element_r:
+                continue  # extraction noise: key-premerged "distinct" pair
+            try:
+                self.uf.add_enemy(element_l, element_r)
+            except ConstraintViolation:
+                continue
+            self.stats.constraint_pairs += 1
+            node = self.graph.get(element_l, element_r)
+            if node is not None:
+                node.status = NodeStatus.NON_MERGE
+                self.queue.discard(node.key)
+
+    # ------------------------------------------------------------------
+    # iterate
+    # ------------------------------------------------------------------
+    def run(self) -> ReconciliationResult:
+        """Execute the full algorithm and return the partition."""
+        if not self._built:
+            self.build()
+        started = time.perf_counter()
+        budget = self.config.max_recomputations
+        while self.queue:
+            if budget is not None and self.stats.recomputations >= budget:
+                break
+            key = self.queue.pop()
+            node = self.graph.get_key(key)
+            if node is None or node.status is not NodeStatus.ACTIVE:
+                continue
+            node.status = NodeStatus.INACTIVE
+            self._process(node)
+        self.stats.iterate_seconds = time.perf_counter() - started
+        self.stats.queue_front_pushes = self.queue.pushed_front
+        self.stats.queue_back_pushes = self.queue.pushed_back
+        self.stats.fusions = self.graph.fusions
+        return self._result()
+
+    def _process(self, node: PairNode) -> None:
+        if self.uf.connected(node.left, node.right):
+            node.status = NodeStatus.MERGED
+            node.score = 1.0
+            return
+        old_score = node.score
+        new_score = self._compute(node)
+        node.recompute_count += 1
+        self.stats.recomputations += 1
+        if new_score is None:  # marked non-merge by a conflict
+            return
+        # Monotone by construction; the max() enforces the §3.2
+        # termination requirement even for imperfect domain functions.
+        node.score = max(old_score, new_score)
+        increased = node.score > old_score + self.config.epsilon
+        if node.score >= self.domain.merge_threshold(node.class_name):
+            self._merge(node)
+        elif increased and self.config.propagate:
+            for neighbour in self.graph.real_out_nodes(node):
+                self._activate(neighbour, front=False)
+
+    def _compute(self, node: PairNode) -> float | None:
+        """S = S_rv + S_sb + S_wb (§4); None when marked non-merge."""
+        config = self.config
+        domain = self.domain
+        left_values = self._element_values(node.left)
+        right_values = self._element_values(node.right)
+        if config.constraints and domain.conflict(
+            node.class_name, left_values, right_values
+        ):
+            return self._mark_non_merge(node)
+        evidence: dict[str, float] = {}
+        key_match = False
+        for channel in domain.atomic_channels(node.class_name):
+            if not config.channel_enabled(channel.name):
+                continue
+            score = node.channel_score(channel.name)
+            if score is None:
+                continue
+            evidence[channel.name] = score
+            if channel.is_key and score >= 1.0:
+                key_match = True
+        for channel in domain.association_channels(node.class_name):
+            if not config.channel_enabled(channel.name):
+                continue
+            score = self._assoc_score(node, channel)
+            if score is not None:
+                evidence[channel.name] = score
+        s_rv = 1.0 if key_match else domain.rv_score(node.class_name, evidence)
+        total = s_rv
+        if s_rv >= domain.t_rv(node.class_name) and domain.boolean_evidence_allowed(
+            node.class_name, left_values, right_values
+        ):
+            strong = self._strong_count(node)
+            if strong:
+                total += domain.beta(node.class_name) * strong
+            if config.weak_enabled(node.class_name):
+                weak = self._weak_count(node)
+                if weak:
+                    total += domain.gamma(node.class_name) * weak
+        return min(total, 1.0)
+
+    def _assoc_score(self, node: PairNode, channel) -> float | None:
+        left_targets = self._element_assoc(node.left, channel.attr)
+        right_targets = self._element_assoc(node.right, channel.attr)
+        if not left_targets or not right_targets:
+            return None
+        left_elements = sorted({self._elem(t) for t in left_targets})
+        right_elements = sorted({self._elem(t) for t in right_targets})
+        scored: list[tuple[float, str, str]] = []
+        for element_l in left_elements:
+            for element_r in right_elements:
+                if self.uf.connected(element_l, element_r):
+                    scored.append((1.0, element_l, element_r))
+                    continue
+                linked = self.graph.get(element_l, element_r)
+                if linked is not None and not linked.is_non_merge:
+                    score = 1.0 if linked.is_merged else linked.score
+                    if score > 0.0:
+                        scored.append((score, element_l, element_r))
+        if channel.aggregate == "max":
+            return max((score for score, _, _ in scored), default=0.0)
+        # mean_aligned: greedy one-to-one matching, normalised by the
+        # larger link list so missing counterparts count against.
+        scored.sort(key=lambda item: (-item[0], item[1], item[2]))
+        used_left: set[str] = set()
+        used_right: set[str] = set()
+        total = 0.0
+        for score, element_l, element_r in scored:
+            if element_l in used_left or element_r in used_right:
+                continue
+            used_left.add(element_l)
+            used_right.add(element_r)
+            total += score
+        return total / max(len(left_elements), len(right_elements))
+
+    def _strong_count(self, node: PairNode) -> int:
+        """|N_sb|: merged strong-boolean incoming neighbours, counted
+        per *entity pair* — several citation-level pair nodes that all
+        collapsed into one real-world article (or article pair) are one
+        unit of evidence, not many."""
+        seen_entity_pairs: set = set()
+        for neighbour in self.graph.strong_in_nodes(node):
+            if neighbour.is_merged:
+                seen_entity_pairs.add(
+                    pair_key(self.uf.find(neighbour.left), self.uf.find(neighbour.right))
+                )
+        return len(seen_entity_pairs)
+
+    def _weak_count(self, node: PairNode) -> int:
+        """Number of common contacts (distinct contact entities linked
+        from both sides), the |N_wb| of §4."""
+        if node.class_name not in self._weak_attrs:
+            return 0
+        left_roots = self._contact_roots(node.left, node.class_name)
+        right_roots = self._contact_roots(node.right, node.class_name)
+        if not left_roots or not right_roots:
+            return 0
+        common = left_roots & right_roots
+        if not common:
+            return 0
+        exclude = {self.uf.find(node.left), self.uf.find(node.right)}
+        return len(common - exclude)
+
+    def _mark_non_merge(self, node: PairNode) -> None:
+        if self.uf.connected(node.left, node.right):
+            # The clusters already merged through another path before
+            # the conflict surfaced; negative evidence arrives too late.
+            node.status = NodeStatus.MERGED
+            node.score = 1.0
+            return None
+        node.status = NodeStatus.NON_MERGE
+        self.stats.non_merges += 1
+        try:
+            self.uf.add_enemy(node.left, node.right)
+        except ConstraintViolation:  # pragma: no cover - guarded above
+            pass
+        return None
+
+    def _merge(self, node: PairNode) -> None:
+        """A reconciliation decision: union, propagate, enrich."""
+        if self.uf.are_enemies(node.left, node.right):
+            node.status = NodeStatus.NON_MERGE
+            self.stats.non_merges += 1
+            return
+        left_root = self.uf.find(node.left)
+        right_root = self.uf.find(node.right)
+        survivor = self.uf.union(left_root, right_root)
+        if survivor is None:  # pragma: no cover - enemies checked above
+            node.status = NodeStatus.NON_MERGE
+            return
+        absorbed = right_root if survivor == left_root else left_root
+        node.status = NodeStatus.MERGED
+        self.stats.merges += 1
+        if self.config.propagate:
+            self._propagate_merge(node)
+        if self.config.enrich:
+            self._enrich(survivor, absorbed)
+
+    def _propagate_merge(self, node: PairNode) -> None:
+        for neighbour in self.graph.strong_out_nodes(node):
+            self._activate(neighbour, front=self.config.strong_to_front)
+        for neighbour in self.graph.weak_out_nodes(node):
+            self._activate(neighbour, front=False)
+        for neighbour in self.graph.real_out_nodes(node):
+            self._activate(neighbour, front=False)
+
+    def _activate(self, node: PairNode, *, front: bool) -> None:
+        if node.status in (NodeStatus.MERGED, NodeStatus.NON_MERGE):
+            return
+        if node.score >= 1.0:
+            return
+        node.status = NodeStatus.ACTIVE
+        if front:
+            self.queue.push_front(node.key)
+        else:
+            self.queue.push_back(node.key)
+
+    def _enrich(self, survivor: str, absorbed: str) -> None:
+        """§3.3: pool cluster state and fuse graph nodes locally."""
+        members = self._members.setdefault(survivor, [survivor])
+        members.extend(self._members.pop(absorbed, [absorbed]))
+        self._values_cache.pop(survivor, None)
+        self._values_cache.pop(absorbed, None)
+        report = self.graph.merge_elements(
+            survivor, absorbed, same_cluster=self.uf.connected
+        )
+        for intra_node in report.intra:
+            # A pair that closed transitively is a merge decision too:
+            # let it propagate like one.
+            if self.config.propagate:
+                self._propagate_merge(intra_node)
+        for fused_node in report.reactivate:
+            self.graph.drop_self_references(fused_node)
+            self._activate(fused_node, front=False)
+
+    # ------------------------------------------------------------------
+    # result
+    # ------------------------------------------------------------------
+    def _result(self) -> ReconciliationResult:
+        clusters: dict[str, dict[str, list[str]]] = {
+            class_name: {} for class_name in self.store.schema.class_names
+        }
+        for reference in self.store:
+            root = self.uf.find(reference.ref_id)
+            clusters[reference.class_name].setdefault(root, []).append(
+                reference.ref_id
+            )
+        partitions = {
+            class_name: sorted(
+                (sorted(group) for group in groups.values()), key=lambda g: g[0]
+            )
+            for class_name, groups in clusters.items()
+        }
+        return ReconciliationResult(
+            partitions=partitions, uf=self.uf, stats=self.stats
+        )

@@ -1,0 +1,251 @@
+"""The dependency graph (Definition 3.1) and its enrichment surgery.
+
+The graph holds one :class:`~repro.core.nodes.PairNode` per pair of
+elements (uniqueness is what lets reconciliation decisions influence
+each other), plus a registry of :class:`~repro.core.nodes.ValueNode`
+objects deduplicated per (channel, value, value) triple.
+
+Enrichment (§3.3) re-keys and fuses pair nodes as clusters grow. Edges
+between pair nodes are stored as pair *keys*; rather than rewriting
+every neighbour list on fusion, the graph keeps an alias table mapping
+dead keys to their successors, and :meth:`resolve` follows it (with
+path compression). Neighbour iteration therefore always sees the live,
+fused node.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .nodes import EdgeType, NodeStatus, PairKey, PairNode, ValueNode, pair_key
+
+__all__ = ["DependencyGraph", "FusionReport"]
+
+
+class FusionReport:
+    """What a cluster merge did to the graph, for the engine to act on.
+
+    ``reactivate`` lists nodes that gained evidence (new incoming
+    neighbours or a grown cluster behind one of their sides) and should
+    re-enter the queue (§3.3 step 3); ``removed`` counts fused-away
+    nodes; ``intra`` lists nodes that became internal to one cluster
+    and were marked merged.
+    """
+
+    def __init__(self) -> None:
+        self.reactivate: list[PairNode] = []
+        self.removed = 0
+        self.intra: list[PairNode] = []
+
+
+class DependencyGraph:
+    """Registry of pair nodes, value nodes, edges and key aliases."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[PairKey, PairNode] = {}
+        self._alias: dict[PairKey, PairKey] = {}
+        self._by_element: dict[str, set[PairKey]] = {}
+        self._value_nodes: dict[tuple[str, str, str], ValueNode] = {}
+        self.value_nodes_created = 0
+        self.pair_nodes_created = 0
+        self.fusions = 0
+
+    # -- basic access -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, key: PairKey) -> bool:
+        return self.resolve(key) in self._nodes
+
+    def nodes(self) -> Iterator[PairNode]:
+        return iter(self._nodes.values())
+
+    def node_count(self) -> int:
+        """Total element-pair nodes ever created (pair + value nodes),
+        the graph-size statistic of Table 6."""
+        return self.pair_nodes_created + self.value_nodes_created
+
+    def resolve(self, key: PairKey) -> PairKey:
+        """Follow the alias chain from *key* to the current key."""
+        alias = self._alias
+        if key not in alias:
+            return key
+        root = key
+        while root in alias:
+            root = alias[root]
+        while alias.get(key, root) != root:
+            alias[key], key = root, alias[key]
+        return root
+
+    def get(self, left: str, right: str) -> PairNode | None:
+        return self._nodes.get(self.resolve(pair_key(left, right)))
+
+    def get_key(self, key: PairKey) -> PairNode | None:
+        return self._nodes.get(self.resolve(key))
+
+    def pairs_of_element(self, element: str) -> set[PairKey]:
+        return set(self._by_element.get(element, ()))
+
+    # -- construction -----------------------------------------------------
+    def add_pair_node(self, class_name: str, left: str, right: str) -> PairNode:
+        """Create (or return) the unique node for this element pair."""
+        key = pair_key(left, right)
+        existing = self._nodes.get(key)
+        if existing is not None:
+            return existing
+        node = PairNode(class_name=class_name, left=key[0], right=key[1])
+        self._nodes[key] = node
+        self._by_element.setdefault(key[0], set()).add(key)
+        self._by_element.setdefault(key[1], set()).add(key)
+        self.pair_nodes_created += 1
+        return node
+
+    def value_node(
+        self, channel: str, left_value: str, right_value: str, score: float
+    ) -> ValueNode:
+        """Create (or return) the unique value node for this value pair."""
+        ordered = (
+            (left_value, right_value)
+            if left_value <= right_value
+            else (right_value, left_value)
+        )
+        registry_key = (channel, ordered[0], ordered[1])
+        existing = self._value_nodes.get(registry_key)
+        if existing is not None:
+            return existing
+        node = ValueNode(
+            channel=channel, left_value=ordered[0], right_value=ordered[1], score=score
+        )
+        self._value_nodes[registry_key] = node
+        self.value_nodes_created += 1
+        return node
+
+    def add_edge(self, source: PairNode, target: PairNode, edge_type: EdgeType) -> None:
+        """Directed dependency: *target*'s score depends on *source*."""
+        if edge_type is EdgeType.REAL:
+            source.real_out.add(target.key)
+            target.real_in.add(source.key)
+        elif edge_type is EdgeType.STRONG:
+            source.strong_out.add(target.key)
+            target.strong_in.add(source.key)
+        else:
+            source.weak_out.add(target.key)
+            target.weak_in.add(source.key)
+
+    # -- neighbour iteration ------------------------------------------------
+    def _resolve_neighbours(self, keys: set[PairKey]) -> Iterator[PairNode]:
+        seen: set[PairKey] = set()
+        for key in keys:
+            resolved = self.resolve(key)
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            node = self._nodes.get(resolved)
+            if node is not None:
+                yield node
+
+    def real_out_nodes(self, node: PairNode) -> Iterator[PairNode]:
+        return self._resolve_neighbours(node.real_out)
+
+    def strong_out_nodes(self, node: PairNode) -> Iterator[PairNode]:
+        return self._resolve_neighbours(node.strong_out)
+
+    def weak_out_nodes(self, node: PairNode) -> Iterator[PairNode]:
+        return self._resolve_neighbours(node.weak_out)
+
+    def strong_in_nodes(self, node: PairNode) -> Iterator[PairNode]:
+        return self._resolve_neighbours(node.strong_in)
+
+    def real_in_nodes(self, node: PairNode) -> Iterator[PairNode]:
+        return self._resolve_neighbours(node.real_in)
+
+    # -- enrichment (§3.3) ---------------------------------------------------
+    def merge_elements(
+        self, survivor: str, absorbed: str, *, same_cluster
+    ) -> FusionReport:
+        """Fold every node mentioning *absorbed* onto *survivor*.
+
+        ``same_cluster(a, b)`` tells whether two elements now belong to
+        one cluster (the engine passes a union-find ``connected``).
+        Implements §3.3's local surgery: for each third element r3 with
+        nodes m=(survivor, r3) and n=(absorbed, r3), connect n's
+        neighbours to m, remove n; lone nodes are re-keyed. Nodes whose
+        two sides fall into one cluster are marked merged.
+        """
+        report = FusionReport()
+        absorbed_keys = self._by_element.pop(absorbed, set())
+        survivor_index = self._by_element.setdefault(survivor, set())
+        for old_key in sorted(absorbed_keys):
+            node = self._nodes.get(old_key)
+            if node is None or self.resolve(old_key) != old_key:
+                continue
+            other = node.left if node.right == absorbed else node.right
+            if other == survivor or same_cluster(other, survivor):
+                # The pair became internal to one cluster: it is merged
+                # by definition. Keep the node (under its old key) so
+                # neighbour counts still see a merged neighbour.
+                if node.status is not NodeStatus.MERGED:
+                    node.status = NodeStatus.MERGED
+                    node.score = 1.0
+                    report.intra.append(node)
+                continue
+            new_key = pair_key(survivor, other)
+            target = self._nodes.get(self.resolve(new_key))
+            if target is not None and target is not node:
+                self._fuse(source=node, target=target, old_key=old_key, other=other)
+                report.removed += 1
+                report.reactivate.append(target)
+            else:
+                # Lone node: re-key in place.
+                del self._nodes[old_key]
+                node.left, node.right = new_key
+                self._nodes[new_key] = node
+                self._alias[old_key] = new_key
+                self._by_element.setdefault(other, set()).discard(old_key)
+                self._by_element.setdefault(other, set()).add(new_key)
+                survivor_index.add(new_key)
+                report.reactivate.append(node)
+        self.fusions += 1
+        return report
+
+    def _fuse(
+        self, *, source: PairNode, target: PairNode, old_key: PairKey, other: str
+    ) -> None:
+        """Merge *source*'s evidence and edges into *target* and retire
+        *source* behind an alias."""
+        for channel, value_nodes in source.value_evidence.items():
+            existing = target.value_evidence.setdefault(channel, [])
+            known = {id(vn) for vn in existing}
+            for value_node in value_nodes:
+                if id(value_node) not in known:
+                    existing.append(value_node)
+        target.real_in |= source.real_in
+        target.strong_in |= source.strong_in
+        target.weak_in |= source.weak_in
+        target.real_out |= source.real_out
+        target.strong_out |= source.strong_out
+        target.weak_out |= source.weak_out
+        target.recompute_count += source.recompute_count
+        target.score = max(target.score, source.score)
+        # Negative evidence sticks: if either side was non-merge, the
+        # fused node is non-merge.
+        if source.status is NodeStatus.NON_MERGE:
+            target.status = NodeStatus.NON_MERGE
+        del self._nodes[old_key]
+        self._alias[old_key] = target.key
+        self._by_element.setdefault(other, set()).discard(old_key)
+
+    def drop_self_references(self, node: PairNode) -> None:
+        """Remove edges that now point from *node* to itself (possible
+        after fusion when two mutually-dependent nodes collapse)."""
+        key = node.key
+        for edge_set in (
+            node.real_in,
+            node.strong_in,
+            node.weak_in,
+            node.real_out,
+            node.strong_out,
+            node.weak_out,
+        ):
+            stale = {k for k in edge_set if self.resolve(k) == key}
+            edge_set -= stale

@@ -1,0 +1,86 @@
+"""The active-node queue driving similarity recomputation (§3.2).
+
+The queue is a deque of pair-node keys with membership tracking:
+
+* nodes reactivated as **strong-boolean** neighbours of a merge go to
+  the *front* (the merge almost certainly implies theirs — resolve it
+  before anything else),
+* nodes reactivated as **real-valued** or **weak-boolean** neighbours
+  go to the *back*,
+* the initial seeding respects the heuristic that "a node always
+  precedes its outgoing real-valued neighbours" (venues and persons
+  before the articles whose scores depend on them).
+
+Keys can be re-pointed by enrichment fusion; the queue therefore stores
+keys, and the engine resolves them to live nodes (dropping keys whose
+node was fused away).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from .nodes import PairKey
+
+__all__ = ["ActiveQueue"]
+
+
+class ActiveQueue:
+    """Deque of pair-node keys with O(1) membership tests."""
+
+    def __init__(self, initial: Iterable[PairKey] = ()) -> None:
+        self._deque: deque[PairKey] = deque()
+        self._members: set[PairKey] = set()
+        self.pushed_front = 0
+        self.pushed_back = 0
+        for key in initial:
+            self.push_back(key)
+
+    def __len__(self) -> int:
+        return len(self._deque)
+
+    def __bool__(self) -> bool:
+        return bool(self._deque)
+
+    def __contains__(self, key: PairKey) -> bool:
+        return key in self._members
+
+    def push_back(self, key: PairKey) -> bool:
+        """Enqueue at the back; no-op (False) when already queued."""
+        if key in self._members:
+            return False
+        self._members.add(key)
+        self._deque.append(key)
+        self.pushed_back += 1
+        return True
+
+    def push_front(self, key: PairKey) -> bool:
+        """Enqueue at the front; no-op (False) when already queued.
+
+        Used for strong-boolean reactivation: a merge that *implies*
+        another merge should be resolved immediately so its
+        consequences propagate before unrelated work.
+        """
+        if key in self._members:
+            return False
+        self._members.add(key)
+        self._deque.appendleft(key)
+        self.pushed_front += 1
+        return True
+
+    def pop(self) -> PairKey:
+        """Dequeue from the front."""
+        key = self._deque.popleft()
+        self._members.discard(key)
+        return key
+
+    def discard(self, key: PairKey) -> None:
+        """Remove *key* wherever it sits (used when fusion deletes its
+        node). Lazy strategy: drop membership now; a stale key left in
+        the deque is skipped at pop time by the engine's liveness
+        check."""
+        self._members.discard(key)
+
+    def is_live(self, key: PairKey) -> bool:
+        return key in self._members

@@ -1,0 +1,23 @@
+"""Benchmark datasets: synthetic PIM A-D and the Cora-like corpus."""
+
+from .cora import CoraConfig, generate_cora_dataset
+from .dataset import Dataset
+from .extract import extract_bib_references, extract_email_references
+from .gold import GoldStandard
+from .io import load_dataset, save_dataset
+from .pim import PIM_DATASET_NAMES, PIM_PROFILES, PimProfile, generate_pim_dataset
+
+__all__ = [
+    "load_dataset",
+    "save_dataset",
+    "CoraConfig",
+    "generate_cora_dataset",
+    "Dataset",
+    "extract_bib_references",
+    "extract_email_references",
+    "GoldStandard",
+    "PIM_DATASET_NAMES",
+    "PIM_PROFILES",
+    "PimProfile",
+    "generate_pim_dataset",
+]

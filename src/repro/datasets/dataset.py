@@ -1,0 +1,32 @@
+"""Dataset container: references + gold + provenance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.references import ReferenceStore
+from .generator.world import World
+from .gold import GoldStandard
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """One benchmark dataset: a reference store with its gold standard."""
+
+    name: str
+    store: ReferenceStore
+    gold: GoldStandard
+    world: World | None = None
+
+    def summary(self) -> dict[str, float | int | str]:
+        """The Table-1 row for this dataset."""
+        references = self.gold.reference_count()
+        entities = self.gold.total_entity_count()
+        return {
+            "dataset": self.name,
+            "references": references,
+            "entities": entities,
+            "ratio": round(references / entities, 1) if entities else 0.0,
+        }

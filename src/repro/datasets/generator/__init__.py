@@ -1,0 +1,35 @@
+"""Synthetic data generation: worlds, corpora, and noise models."""
+
+from .bibtex import BibCorpusConfig, BibEntry, generate_bib_entries, render_venue
+from .emails import EmailCorpusConfig, Message, Participant, generate_messages
+from .names import NAME_FORMATS, NamePool, PersonName, format_name, typo
+from .world import (
+    PaperEntity,
+    PersonEntity,
+    VenueEntity,
+    World,
+    WorldConfig,
+    build_world,
+)
+
+__all__ = [
+    "BibCorpusConfig",
+    "BibEntry",
+    "generate_bib_entries",
+    "render_venue",
+    "EmailCorpusConfig",
+    "Message",
+    "Participant",
+    "generate_messages",
+    "NAME_FORMATS",
+    "NamePool",
+    "PersonName",
+    "format_name",
+    "typo",
+    "PaperEntity",
+    "PersonEntity",
+    "VenueEntity",
+    "World",
+    "WorldConfig",
+    "build_world",
+]

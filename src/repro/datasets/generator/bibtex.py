@@ -1,0 +1,149 @@
+"""Synthetic bibliography-corpus generation.
+
+Produces :class:`BibEntry` objects mirroring what a PIM extractor pulls
+out of Bibtex/LaTeX files: each *file* has an author-format style and a
+venue-mention preference, the *same paper* shows up in several files
+(the reconciliation opportunity), and noise enters through title typos,
+dropped authors, missing pages/years and venue-form variation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .names import format_name, typo
+from .world import PaperEntity, VenueEntity, World
+
+__all__ = ["BibEntry", "BibCorpusConfig", "generate_bib_entries", "render_venue"]
+
+
+@dataclass(frozen=True)
+class BibEntry:
+    """One bibliography item as the extractor sees it."""
+
+    entry_id: str
+    paper_id: str  # gold article entity
+    title: str
+    author_names: tuple[str, ...]  # rendered mentions, order preserved
+    author_ids: tuple[str, ...]  # gold person entities, aligned
+    venue_name: str
+    venue_id: str  # gold venue entity
+    year: str  # "" when missing
+    pages: str  # "" when missing
+
+
+@dataclass(frozen=True)
+class BibCorpusConfig:
+    n_files: int = 5
+    entries_per_file: tuple[int, int] = (15, 35)
+    #: probability the whole file uses one author style (curated file)
+    #: vs. mixing styles per entry (pasted-together file).
+    consistent_style_rate: float = 0.7
+    title_typo_rate: float = 0.03
+    author_drop_rate: float = 0.05  # "et al." truncation
+    pages_missing_rate: float = 0.25
+    year_missing_rate: float = 0.15
+    #: probability a venue is mentioned by a *different* form than the
+    #: file's preference (acronym in a full-name file etc.).
+    venue_form_flip_rate: float = 0.25
+
+
+_AUTHOR_STYLES = (
+    "first_last",
+    "first_middle_last",
+    "last_comma_first",
+    "last_comma_initials",
+    "initials_last",
+)
+
+_VENUE_FORMS = ("acronym", "branded", "full", "proceedings", "dated")
+
+
+def render_venue(
+    venue: VenueEntity, form: str, year: int, rng: random.Random
+) -> str:
+    """Render one venue mention in the requested form."""
+    if form == "acronym" and venue.acronym:
+        return venue.acronym
+    if form == "branded" and venue.acronym:
+        brand = "ACM" if venue.kind != "workshop" else ""
+        return f"{brand} {venue.acronym}".strip()
+    if form == "proceedings":
+        if venue.acronym and rng.random() < 0.5:
+            return f"Proceedings of {venue.acronym}"
+        return f"Proceedings of the {venue.full_name}"
+    if form == "dated" and venue.acronym:
+        return f"{venue.acronym} {year}"
+    return venue.full_name
+
+
+def _render_authors(
+    paper: PaperEntity,
+    world: World,
+    style: str | None,
+    config: BibCorpusConfig,
+    rng: random.Random,
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    names: list[str] = []
+    ids: list[str] = []
+    author_ids = list(paper.author_ids)
+    if (
+        len(author_ids) > 2
+        and rng.random() < config.author_drop_rate
+    ):
+        author_ids = author_ids[:2]  # "et al." truncation
+    for author_id in author_ids:
+        person = world.persons[author_id]
+        entry_style = style or rng.choice(_AUTHOR_STYLES)
+        rendered = format_name(person.name, entry_style)
+        if rng.random() < config.title_typo_rate:
+            rendered = typo(rendered, rng)
+        names.append(rendered)
+        ids.append(author_id)
+    return tuple(names), tuple(ids)
+
+
+def generate_bib_entries(
+    world: World, config: BibCorpusConfig, rng: random.Random
+) -> list[BibEntry]:
+    """Sample all bibliography entries across the owner's bib files."""
+    papers = sorted(world.papers.values(), key=lambda paper: paper.entity_id)
+    if not papers:
+        return []
+    entries: list[BibEntry] = []
+    for file_index in range(config.n_files):
+        file_style: str | None = None
+        if rng.random() < config.consistent_style_rate:
+            file_style = rng.choice(_AUTHOR_STYLES)
+        preferred_form = rng.choice(_VENUE_FORMS)
+        count = rng.randint(*config.entries_per_file)
+        chosen = rng.sample(papers, min(count, len(papers)))
+        for entry_index, paper in enumerate(chosen):
+            title = paper.title
+            if rng.random() < config.title_typo_rate:
+                title = typo(title, rng)
+            author_names, author_ids = _render_authors(
+                paper, world, file_style, config, rng
+            )
+            venue = world.venues[paper.venue_id]
+            form = preferred_form
+            if rng.random() < config.venue_form_flip_rate:
+                form = rng.choice(_VENUE_FORMS)
+            venue_name = render_venue(venue, form, paper.year, rng)
+            year = "" if rng.random() < config.year_missing_rate else str(paper.year)
+            pages = "" if rng.random() < config.pages_missing_rate else paper.pages
+            entries.append(
+                BibEntry(
+                    entry_id=f"f{file_index:02d}e{entry_index:03d}",
+                    paper_id=paper.entity_id,
+                    title=title,
+                    author_names=author_names,
+                    author_ids=author_ids,
+                    venue_name=venue_name,
+                    venue_id=paper.venue_id,
+                    year=year,
+                    pages=pages,
+                )
+            )
+    return entries

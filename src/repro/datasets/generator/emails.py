@@ -1,0 +1,225 @@
+"""Synthetic email-corpus generation.
+
+Produces :class:`Message` objects — the raw material the extractor
+turns into Person references. The generator models the phenomena the
+paper's PIM datasets exhibit:
+
+* one person, several accounts, used in *eras* (old account early,
+  new account late) with occasional overlap;
+* per-person display-name habits of varying diversity (the dataset-A
+  "highest variety" knob), including nickname-only and missing display
+  names;
+* an owner-centric traffic pattern (the mailbox belongs to someone);
+* mailing lists as recipients, plus rare extraction contamination
+  where a person's display name is paired with the list's address;
+* the dataset-D owner whose surname and account change mid-corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .names import PersonName, format_name, typo
+from .world import World
+
+__all__ = ["Participant", "Message", "EmailCorpusConfig", "generate_messages"]
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One (entity, presentation) occurrence inside a message."""
+
+    entity_id: str
+    display_name: str | None
+    address: str
+    role: str  # "from" | "to" | "cc"
+
+
+@dataclass(frozen=True)
+class Message:
+    message_id: str
+    time: float  # position in the corpus timeline, in [0, 1)
+    participants: tuple[Participant, ...]
+
+
+@dataclass(frozen=True)
+class EmailCorpusConfig:
+    n_messages: int = 800
+    #: how many distinct display-name styles one person cycles through.
+    styles_per_person: int = 3
+    #: probability that an occurrence has no display name at all.
+    missing_display_rate: float = 0.2
+    #: probability of casual nickname-style display ("mike").
+    nickname_rate: float = 0.2
+    #: probability of a typo inside a display name.
+    typo_rate: float = 0.01
+    #: probability that the sender is the mailbox owner.
+    owner_sends_rate: float = 0.35
+    #: probability a message goes to a mailing list (plus people).
+    mailing_list_rate: float = 0.08
+    #: probability that extraction pairs a person's display name with a
+    #: mailing list's address (the Table-6 false-positive source).
+    contamination_rate: float = 0.003
+
+
+_FORMAL_STYLES = (
+    "first_last",
+    "first_middle_last",
+    "last_comma_first",
+    "initial_last",
+    "last_comma_initials",
+)
+_CASUAL_STYLES = ("nickname", "first_only")
+
+
+class _PersonHabits:
+    """Per-person presentation habits, fixed at corpus start."""
+
+    def __init__(
+        self, entity_id: str, config: EmailCorpusConfig, rng: random.Random
+    ) -> None:
+        formal = list(_FORMAL_STYLES)
+        rng.shuffle(formal)
+        count = max(1, min(config.styles_per_person, len(formal)))
+        self.styles = formal[:count]
+        self.entity_id = entity_id
+        self._rng = rng
+
+    def render(
+        self, name: PersonName, config: EmailCorpusConfig, rng: random.Random
+    ) -> str | None:
+        if rng.random() < config.missing_display_rate:
+            return None
+        if rng.random() < config.nickname_rate:
+            style = rng.choice(_CASUAL_STYLES)
+        else:
+            style = rng.choice(self.styles)
+        rendered = format_name(name, style)
+        if rng.random() < config.typo_rate:
+            rendered = typo(rendered, rng)
+        return rendered
+
+
+#: Fraction of the corpus timeline after which a changed name (and the
+#: account adopted with it) is in effect — late, so the new-name era is
+#: the smaller side of the split (the paper's D owner married recently).
+NAME_CHANGE_TIME = 0.8
+
+
+def _account_at(person, time: float, rng: random.Random) -> str:
+    """Account used at *time*: era-based with 10% era bleed-through.
+
+    A person whose name changed adopts their newest account exactly at
+    the name change; for everyone else the eras split the timeline
+    evenly.
+    """
+    accounts = person.emails
+    if len(accounts) == 1:
+        return accounts[0]
+    if person.former_name is not None:
+        if time >= NAME_CHANGE_TIME:
+            return accounts[-1]
+        early = accounts[:-1]
+        era = min(int(time / NAME_CHANGE_TIME * len(early)), len(early) - 1)
+        return early[era]
+    era = min(int(time * len(accounts)), len(accounts) - 1)
+    if rng.random() < 0.1:
+        era = rng.randrange(len(accounts))
+    return accounts[era]
+
+
+def _name_at(person, time: float) -> PersonName:
+    """Name in effect at *time*."""
+    if person.former_name is not None and time < NAME_CHANGE_TIME:
+        return person.former_name
+    return person.name
+
+
+def generate_messages(
+    world: World, config: EmailCorpusConfig, rng: random.Random
+) -> list[Message]:
+    """Sample the full email corpus for *world*."""
+    people = [
+        person for person in world.persons.values() if not person.is_mailing_list
+    ]
+    lists = [person for person in world.persons.values() if person.is_mailing_list]
+    habits = {
+        person.entity_id: _PersonHabits(person.entity_id, config, rng)
+        for person in people
+    }
+    # Contact affinity: the owner talks to everyone (zipf-ish); others
+    # talk within their circle.
+    owner = world.owner
+    circle_of: dict[str, list[str]] = {}
+    for circle in world.circles:
+        for person_id in circle:
+            circle_of[person_id] = circle
+
+    messages: list[Message] = []
+    for index in range(config.n_messages):
+        time = index / max(config.n_messages, 1)
+        if rng.random() < config.owner_sends_rate:
+            sender = owner
+        else:
+            sender = rng.choice(people)
+        # Recipients: mostly the owner's mailbox means the owner is
+        # usually on the message.
+        recipients: list = []
+        if sender is not owner:
+            recipients.append(owner)
+        pool = circle_of.get(sender.entity_id) or [person.entity_id for person in people]
+        extra = rng.randint(0 if recipients else 1, 3)
+        candidates = [
+            world.persons[person_id]
+            for person_id in pool
+            if person_id != sender.entity_id
+        ]
+        rng.shuffle(candidates)
+        for person in candidates[:extra]:
+            if person not in recipients:
+                recipients.append(person)
+        if lists and rng.random() < config.mailing_list_rate:
+            recipients.append(rng.choice(lists))
+        if not recipients:
+            continue
+
+        participants: list[Participant] = []
+        for role, person in [("from", sender)] + [("to", r) for r in recipients]:
+            if person.is_mailing_list:
+                participants.append(
+                    Participant(
+                        entity_id=person.entity_id,
+                        display_name=person.name.given,
+                        address=person.emails[0],
+                        role=role,
+                    )
+                )
+                continue
+            name = _name_at(person, time)
+            display = habits[person.entity_id].render(name, config, rng)
+            address = _account_at(person, time, rng)
+            if lists and rng.random() < config.contamination_rate:
+                # Extraction glitch: the person's slot ends up holding
+                # the address of the list the mail went through. The
+                # display name is lost in the same glitch — a surviving
+                # full name would let one bad reference bridge the whole
+                # person cluster into the list cluster.
+                address = rng.choice(lists).emails[0]
+                display = None
+            participants.append(
+                Participant(
+                    entity_id=person.entity_id,
+                    display_name=display,
+                    address=address,
+                    role=role,
+                )
+            )
+        messages.append(
+            Message(
+                message_id=f"m{index:05d}",
+                time=time,
+                participants=tuple(participants),
+            )
+        )
+    return messages

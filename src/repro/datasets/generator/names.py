@@ -1,0 +1,276 @@
+"""Name pools and name-presentation machinery for the synthetic worlds.
+
+The paper stresses that its dataset owners come "from different
+countries (including China, India and the USA)" because "names and
+email addresses of persons from these countries have very different
+characteristics" (§5.1, footnote 2). The pools below model those three
+cultures:
+
+* US names: long distinctive surnames, rich nickname usage.
+* Chinese names (pinyin): *short* given and family names drawn from a
+  small pool — exactly the "short names with significant overlap" that
+  §5.3 blames for dataset C's lower precision.
+* Indian names: long given names, initial-heavy citation habits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ...similarity.nicknames import NICKNAMES, all_name_forms
+
+__all__ = ["PersonName", "NamePool", "format_name", "typo", "NAME_FORMATS"]
+
+
+_US_GIVEN = [
+    "michael", "robert", "william", "james", "john", "david", "richard",
+    "thomas", "charles", "christopher", "daniel", "matthew", "donald",
+    "kenneth", "steven", "edward", "george", "ronald", "anthony", "kevin",
+    "jason", "jeffrey", "timothy", "joshua", "lawrence", "nicholas",
+    "gregory", "samuel", "benjamin", "patrick", "alexander", "jonathan",
+    "frederick", "raymond", "theodore", "eugene", "harold", "walter",
+    "gerald", "douglas", "peter", "henry", "arthur", "albert", "joseph",
+    "jack", "dennis", "jerry", "margaret", "elizabeth", "katherine",
+    "jennifer", "linda", "barbara", "susan", "jessica", "sarah", "karen",
+    "nancy", "lisa", "betty", "dorothy", "sandra", "ashley", "kimberly",
+    "donna", "emily", "michelle", "carol", "amanda", "melissa", "deborah",
+    "stephanie", "rebecca", "laura", "helen", "amy", "anna", "angela",
+    "ruth", "brenda", "pamela", "nicole", "christine", "catherine",
+    "victoria", "rachel", "janet", "alice", "julie", "judith", "abigail",
+]
+
+_US_SURNAME = [
+    "smith", "johnson", "williams", "brown", "jones", "miller", "davis",
+    "wilson", "anderson", "taylor", "thomas", "moore", "jackson", "martin",
+    "thompson", "white", "harris", "clark", "lewis", "robinson", "walker",
+    "hall", "allen", "young", "king", "wright", "scott", "green", "baker",
+    "adams", "nelson", "carter", "mitchell", "roberts", "turner", "phillips",
+    "campbell", "parker", "evans", "edwards", "collins", "stewart", "morris",
+    "murphy", "cook", "rogers", "peterson", "cooper", "reed", "bailey",
+    "bell", "kelly", "howard", "ward", "cox", "richardson", "wood", "watson",
+    "brooks", "bennett", "gray", "hughes", "price", "sanders", "ross",
+    "henderson", "coleman", "jenkins", "perry", "powell", "patterson",
+    "stonebraker", "epstein", "halloran", "fitzgerald", "whitman",
+    "vandenberg", "kowalski", "ferraro", "lindqvist", "oconnell",
+    "armstrong", "harrington", "blackwood", "castellano", "dombrowski",
+    "eriksson", "fairbanks", "gallagher", "hawthorne", "ivanova",
+]
+
+# Pinyin pools; deliberately small, matching the real-world collision
+# rate of romanised Chinese names.
+_CN_GIVEN = [
+    "wei", "min", "jun", "hui", "ling", "ping", "yan", "lei", "jing",
+    "fang", "hong", "li", "na", "tao", "qiang", "bo", "ying", "mei",
+    "xin", "chen", "hao", "yu", "kai", "feng", "lin", "xiaoming",
+    "xiaohui", "xiaowei", "jianguo", "zhiyuan", "yichen", "ruolan",
+]
+
+_CN_SURNAME = [
+    "wang", "li", "zhang", "liu", "chen", "yang", "huang", "zhao", "wu",
+    "zhou", "xu", "sun", "ma", "zhu", "hu", "guo", "he", "gao", "lin",
+    "luo", "zheng", "liang", "xie", "tang", "deng", "feng", "song",
+]
+
+_IN_GIVEN = [
+    "rajesh", "rajiv", "sanjay", "anil", "sunil", "vijay", "ashok",
+    "ramesh", "suresh", "venkatesh", "krishna", "ganesh", "arun",
+    "deepak", "manish", "prakash", "subramanian", "srinivasan", "anand",
+    "karthik", "lakshmi", "priya", "kavita", "sunita", "meena", "anita",
+    "shweta", "divya", "pooja", "nandini", "aravind", "balaji",
+]
+
+_IN_SURNAME = [
+    "sharma", "gupta", "patel", "kumar", "singh", "agarwal", "iyer",
+    "krishnan", "raman", "nair", "menon", "reddy", "rao", "chandra",
+    "bhattacharya", "mukherjee", "chatterjee", "banerjee", "desai",
+    "joshi", "mehta", "kapoor", "verma", "srivastava", "chopra",
+    "venkataraman", "subramaniam", "ramakrishnan", "natarajan",
+]
+
+_POOLS = {
+    "us": (_US_GIVEN, _US_SURNAME),
+    "cn": (_CN_GIVEN, _CN_SURNAME),
+    "in": (_IN_GIVEN, _IN_SURNAME),
+}
+
+# Reverse nickname map: formal given name -> possible nicknames.
+_FORMAL_TO_NICK: dict[str, list[str]] = {}
+for _nick, _formals in NICKNAMES.items():
+    for _formal in _formals:
+        _FORMAL_TO_NICK.setdefault(_formal, []).append(_nick)
+for _formal in _FORMAL_TO_NICK:
+    _FORMAL_TO_NICK[_formal].sort()
+
+
+@dataclass(frozen=True)
+class PersonName:
+    """A ground-truth person name (all parts lower-case)."""
+
+    given: str
+    middle: str  # possibly empty
+    surname: str
+    nickname: str  # possibly empty
+
+    @property
+    def full(self) -> str:
+        if self.middle:
+            return f"{self.given} {self.middle} {self.surname}"
+        return f"{self.given} {self.surname}"
+
+
+#: The presentation formats extractors encounter; each maps a
+#: :class:`PersonName` to a mention string.
+NAME_FORMATS = (
+    "first_last",  # Michael Stonebraker
+    "first_middle_last",  # Michael R. Stonebraker
+    "last_comma_first",  # Stonebraker, Michael
+    "last_comma_initials",  # Stonebraker, M. / Stonebraker, M.R.
+    "initial_last",  # M. Stonebraker
+    "initials_last",  # M. R. Stonebraker
+    "nickname_last",  # Mike Stonebraker
+    "nickname",  # mike
+    "first_only",  # michael
+)
+
+
+class NamePool:
+    """Draws unique ground-truth names from a culture mix.
+
+    ``culture_mix`` maps culture code ("us" / "cn" / "in") to a weight.
+    ``homonym_rate`` is the probability that a newly drawn name reuses
+    an already-issued (given, surname) combination — a distinct person
+    with a colliding name, the dataset-C hazard.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        culture_mix: dict[str, float] | None = None,
+        homonym_rate: float = 0.0,
+        middle_rate: float = 0.3,
+    ) -> None:
+        self._rng = rng
+        mix = culture_mix or {"us": 0.7, "cn": 0.15, "in": 0.15}
+        self._cultures = sorted(mix)
+        self._weights = [mix[culture] for culture in self._cultures]
+        self._homonym_rate = homonym_rate
+        self._middle_rate = middle_rate
+        self._issued: list[PersonName] = []
+        self._used_combos: set[tuple[str, str]] = set()
+
+    def draw(self) -> PersonName:
+        """Draw the next ground-truth name.
+
+        Accidental (given, surname) collisions are rejected, so the
+        homonym rate is exactly ``homonym_rate`` — collisions happen by
+        design, not by birthday paradox.
+        """
+        rng = self._rng
+        if self._issued and rng.random() < self._homonym_rate:
+            template = rng.choice(self._issued)
+            name = PersonName(
+                given=template.given,
+                middle="",
+                surname=template.surname,
+                nickname=template.nickname,
+            )
+            self._issued.append(name)
+            return name
+        for _ in range(200):
+            culture = rng.choices(self._cultures, weights=self._weights)[0]
+            givens, surnames = _POOLS[culture]
+            given = rng.choice(givens)
+            surname = rng.choice(surnames)
+            # Reject collisions across nickname equivalence too: a
+            # "Jack Smith" after a "John Smith" would be an accidental
+            # (nickname-level) homonym.
+            if all(
+                (form, surname) not in self._used_combos
+                for form in all_name_forms(given)
+            ):
+                break
+        middle = ""
+        if culture == "us" and rng.random() < self._middle_rate:
+            middle = rng.choice("abcdefghjklmnprstw")
+        nicknames = _FORMAL_TO_NICK.get(given, [])
+        nickname = rng.choice(nicknames) if nicknames else ""
+        name = PersonName(
+            given=given, middle=middle, surname=surname, nickname=nickname
+        )
+        for form in all_name_forms(given):
+            self._used_combos.add((form, surname))
+        self._issued.append(name)
+        return name
+
+
+def format_name(name: PersonName, style: str, *, rng: random.Random | None = None) -> str:
+    """Render *name* in one of :data:`NAME_FORMATS`.
+
+    Output casing is title-case, as extractors see it in the wild.
+    """
+    given = name.given.capitalize()
+    surname = name.surname.capitalize()
+    middle_initial = (name.middle[0].upper() + ".") if name.middle else ""
+    if style == "first_last":
+        return f"{given} {surname}"
+    if style == "first_middle_last":
+        if middle_initial:
+            return f"{given} {middle_initial} {surname}"
+        return f"{given} {surname}"
+    if style == "last_comma_first":
+        return f"{surname}, {given}"
+    if style == "last_comma_initials":
+        initials = given[0].upper() + "."
+        if name.middle:
+            initials += name.middle[0].upper() + "."
+        return f"{surname}, {initials}"
+    if style == "initial_last":
+        return f"{given[0].upper()}. {surname}"
+    if style == "initials_last":
+        if middle_initial:
+            return f"{given[0].upper()}. {middle_initial} {surname}"
+        return f"{given[0].upper()}. {surname}"
+    if style == "nickname_last":
+        nick = (name.nickname or name.given).capitalize()
+        return f"{nick} {surname}"
+    if style == "nickname":
+        return name.nickname or name.given
+    if style == "first_only":
+        return name.given
+    raise ValueError(f"unknown name format {style!r}")
+
+
+_KEYBOARD_NEIGHBOURS = {
+    "a": "sq", "b": "vn", "c": "xv", "d": "sf", "e": "wr", "f": "dg",
+    "g": "fh", "h": "gj", "i": "uo", "j": "hk", "k": "jl", "l": "k",
+    "m": "n", "n": "bm", "o": "ip", "p": "o", "q": "wa", "r": "et",
+    "s": "ad", "t": "ry", "u": "yi", "v": "cb", "w": "qe", "x": "zc",
+    "y": "tu", "z": "x",
+}
+
+
+def typo(text: str, rng: random.Random) -> str:
+    """Apply one realistic keyboard-model edit to *text*.
+
+    The edit kinds (substitution / transposition / deletion /
+    duplication) match the Damerau model the comparators assume.
+    """
+    letters = [i for i, ch in enumerate(text) if ch.isalpha()]
+    if not letters:
+        return text
+    position = rng.choice(letters)
+    kind = rng.randrange(4)
+    chars = list(text)
+    ch = chars[position].lower()
+    if kind == 0:  # substitution with a keyboard neighbour
+        neighbours = _KEYBOARD_NEIGHBOURS.get(ch, "e")
+        chars[position] = rng.choice(neighbours)
+    elif kind == 1 and position + 1 < len(chars):  # transposition
+        chars[position], chars[position + 1] = chars[position + 1], chars[position]
+    elif kind == 2 and len(chars) > 3:  # deletion
+        del chars[position]
+    else:  # duplication
+        chars.insert(position, chars[position])
+    return "".join(chars)

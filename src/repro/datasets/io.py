@@ -1,0 +1,143 @@
+"""Dataset serialisation: JSON-lines round-trips.
+
+A dataset on disk is a directory of three files:
+
+* ``references.jsonl`` — one reference per line,
+* ``gold.jsonl`` — one gold entry per line (omitted when unknown),
+* ``meta.json`` — dataset name and the schema (classes + attributes),
+
+so a reconciled corpus can be shipped, diffed and versioned without the
+generator. Loading validates against the embedded schema.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.references import Reference, ReferenceStore
+from ..core.schema import Attribute, Schema, SchemaClass
+from .dataset import Dataset
+from .gold import GoldStandard
+
+__all__ = [
+    "schema_to_dict",
+    "schema_from_dict",
+    "reference_to_dict",
+    "reference_from_dict",
+    "save_dataset",
+    "load_dataset",
+]
+
+
+def schema_to_dict(schema: Schema) -> dict:
+    return {
+        "classes": [
+            {
+                "name": schema_class.name,
+                "attributes": [
+                    {
+                        "name": attribute.name,
+                        "kind": attribute.kind.value,
+                        "target": attribute.target,
+                    }
+                    for attribute in schema_class.attributes
+                ],
+            }
+            for schema_class in schema
+        ]
+    }
+
+
+def schema_from_dict(data: dict) -> Schema:
+    classes = []
+    for class_data in data["classes"]:
+        attributes = []
+        for attribute_data in class_data["attributes"]:
+            if attribute_data["kind"] == "atomic":
+                attributes.append(Attribute.atomic(attribute_data["name"]))
+            else:
+                attributes.append(
+                    Attribute.association(
+                        attribute_data["name"], target=attribute_data["target"]
+                    )
+                )
+        classes.append(SchemaClass(class_data["name"], attributes))
+    return Schema(classes)
+
+
+def reference_to_dict(reference: Reference) -> dict:
+    return {
+        "id": reference.ref_id,
+        "class": reference.class_name,
+        "values": {
+            attribute: list(values) for attribute, values in reference.values.items()
+        },
+        "source": reference.source,
+    }
+
+
+def reference_from_dict(data: dict) -> Reference:
+    return Reference(
+        ref_id=data["id"],
+        class_name=data["class"],
+        values={
+            attribute: tuple(values) for attribute, values in data["values"].items()
+        },
+        source=data.get("source", ""),
+    )
+
+
+def save_dataset(dataset: Dataset, directory: str | Path) -> Path:
+    """Write *dataset* under *directory*; returns the directory path."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    with open(path / "meta.json", "w") as handle:
+        json.dump(
+            {"name": dataset.name, "schema": schema_to_dict(dataset.store.schema)},
+            handle,
+            indent=2,
+        )
+    with open(path / "references.jsonl", "w") as handle:
+        for reference in dataset.store:
+            handle.write(json.dumps(reference_to_dict(reference)) + "\n")
+    if dataset.gold.entity_of:
+        with open(path / "gold.jsonl", "w") as handle:
+            for ref_id, entity in dataset.gold.entity_of.items():
+                handle.write(
+                    json.dumps(
+                        {
+                            "id": ref_id,
+                            "entity": entity,
+                            "class": dataset.gold.class_of[ref_id],
+                            "source": dataset.gold.source_of[ref_id],
+                        }
+                    )
+                    + "\n"
+                )
+    return path
+
+
+def load_dataset(directory: str | Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(directory)
+    with open(path / "meta.json") as handle:
+        meta = json.load(handle)
+    schema = schema_from_dict(meta["schema"])
+    store = ReferenceStore(schema)
+    with open(path / "references.jsonl") as handle:
+        for line in handle:
+            if line.strip():
+                store.add(reference_from_dict(json.loads(line)))
+    store.validate()
+    gold = GoldStandard()
+    gold_path = path / "gold.jsonl"
+    if gold_path.exists():
+        with open(gold_path) as handle:
+            for line in handle:
+                if line.strip():
+                    entry = json.loads(line)
+                    gold.add(
+                        entry["id"], entry["entity"], entry["class"], entry["source"]
+                    )
+    return Dataset(name=meta["name"], store=store, gold=gold)

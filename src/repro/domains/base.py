@@ -1,0 +1,50 @@
+"""Shared helpers for concrete domain models.
+
+The S_rv functions of both domains follow the same pattern: a small
+decision tree over which evidence channels are *present*, realised as
+the maximum over a set of linear profiles (Equation 1 instantiated per
+availability pattern). Taking the max over profiles keeps S_rv monotone
+in every channel score — adding an attribute value can only reveal a
+higher-scoring profile, never lower the result — which is the §3.2
+termination requirement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+__all__ = ["max_of_profiles", "PAPER_MERGE_THRESHOLD", "PAPER_BETA", "PAPER_GAMMA"]
+
+#: §5.2: "we set the merge-threshold to 0.85 for all reference
+#: similarities".
+PAPER_MERGE_THRESHOLD = 0.85
+#: §5.2: β = 0.1 for all classes except Venue (0.2).
+PAPER_BETA = 0.1
+#: §5.2: γ = 0.05 for all classes.
+PAPER_GAMMA = 0.05
+
+
+def max_of_profiles(
+    evidence: Mapping[str, float],
+    profiles: tuple[tuple[tuple[str, float], ...], ...],
+) -> float:
+    """Evaluate Equation 1 under each profile; return the best.
+
+    Each profile is a tuple of (channel, weight) terms. A profile
+    *applies* only when every one of its channels is present in
+    *evidence*; inapplicable profiles are skipped. Returns 0.0 when no
+    profile applies.
+    """
+    best = 0.0
+    for profile in profiles:
+        score = 0.0
+        applicable = True
+        for channel, weight in profile:
+            value = evidence.get(channel)
+            if value is None:
+                applicable = False
+                break
+            score += weight * value
+        if applicable and score > best:
+            best = score
+    return min(best, 1.0)

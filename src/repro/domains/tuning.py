@@ -1,0 +1,174 @@
+"""Tuning S_rv weights from labelled data (the paper's future work #2).
+
+§7: "we will consider how to use user feedback to adjust similarity
+functions and improve future reconciliation results." This module
+closes that loop for any :class:`~repro.core.model.DomainModel`:
+
+1. :func:`collect_training_pairs` builds a reconciler, harvests every
+   candidate pair's channel-evidence vector, and labels it from a gold
+   standard (or from explicit user feedback pairs).
+2. :func:`fit_profile_weights` learns a single linear profile per class
+   with :mod:`repro.similarity.learning`.
+3. :class:`TunedDomainModel` wraps the base model, replacing its
+   ``rv_score`` with ``max(base, learned)`` — the learned profile can
+   only *add* evidence, preserving the engine's monotonicity contract.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from ..core.engine import Reconciler
+from ..core.model import DomainModel, EngineConfig
+from ..core.references import ReferenceStore
+from ..similarity.learning import LabeledPair, fit_least_squares
+
+__all__ = [
+    "TrainingSet",
+    "collect_training_pairs",
+    "fit_profile_weights",
+    "TunedDomainModel",
+    "tune_domain",
+]
+
+
+@dataclass(frozen=True)
+class TrainingSet:
+    """Evidence vectors for one class, with the channel order used."""
+
+    class_name: str
+    channels: tuple[str, ...]
+    pairs: tuple[LabeledPair, ...]
+
+    @property
+    def n_matches(self) -> int:
+        return sum(1 for pair in self.pairs if pair.is_match)
+
+
+def collect_training_pairs(
+    store: ReferenceStore,
+    domain: DomainModel,
+    class_name: str,
+    gold: Mapping[str, str],
+    *,
+    config: EngineConfig | None = None,
+) -> TrainingSet:
+    """Harvest labelled channel-evidence vectors for *class_name*.
+
+    Builds the dependency graph (no iteration), then reads each pair
+    node's atomic-channel scores. Missing channels contribute 0.0 —
+    the learner sees exactly what Equation 1 would see.
+    """
+    config = config or EngineConfig(enrich=False, propagate=False, constraints=False)
+    reconciler = Reconciler(store, domain, config)
+    reconciler.build()
+    channels = tuple(
+        channel.name for channel in domain.atomic_channels(class_name)
+    )
+    pairs: list[LabeledPair] = []
+    for node in reconciler.graph.nodes():
+        if node.class_name != class_name:
+            continue
+        left_entity = gold.get(node.left)
+        right_entity = gold.get(node.right)
+        if left_entity is None or right_entity is None:
+            continue
+        features = tuple(
+            node.channel_score(channel) or 0.0 for channel in channels
+        )
+        pairs.append(LabeledPair(features, left_entity == right_entity))
+    return TrainingSet(class_name=class_name, channels=channels, pairs=tuple(pairs))
+
+
+def fit_profile_weights(training: TrainingSet, *, ridge: float = 1e-3) -> dict[str, float]:
+    """Learn one linear Equation-1 profile from a training set."""
+    if not training.pairs:
+        raise ValueError(f"no labelled pairs for class {training.class_name!r}")
+    weights = fit_least_squares(training.pairs, ridge=ridge)
+    return dict(zip(training.channels, weights))
+
+
+class TunedDomainModel(DomainModel):
+    """A domain model with a learned profile layered on top.
+
+    Delegates everything to *base*; ``rv_score`` becomes the max of the
+    base decision tree and the learned linear profile for the tuned
+    class — monotone whenever the base is, since ``max`` preserves
+    monotonicity and linear non-negative weights are monotone.
+    """
+
+    def __init__(self, base: DomainModel, learned: dict[str, dict[str, float]]):
+        self._base = base
+        self._learned = learned
+        self.schema = base.schema
+
+    # -- delegation -------------------------------------------------------
+    def atomic_channels(self, class_name):
+        return self._base.atomic_channels(class_name)
+
+    def association_channels(self, class_name):
+        return self._base.association_channels(class_name)
+
+    def strong_dependencies(self):
+        return self._base.strong_dependencies()
+
+    def weak_dependencies(self):
+        return self._base.weak_dependencies()
+
+    def merge_threshold(self, class_name):
+        return self._base.merge_threshold(class_name)
+
+    def beta(self, class_name):
+        return self._base.beta(class_name)
+
+    def gamma(self, class_name):
+        return self._base.gamma(class_name)
+
+    def t_rv(self, class_name):
+        return self._base.t_rv(class_name)
+
+    def blocking_keys(self, reference):
+        return self._base.blocking_keys(reference)
+
+    def key_values(self, reference):
+        return self._base.key_values(reference)
+
+    def conflict(self, class_name, left, right):
+        return self._base.conflict(class_name, left, right)
+
+    def distinct_pairs(self, references):
+        return self._base.distinct_pairs(references)
+
+    def boolean_evidence_allowed(self, class_name, left, right):
+        return self._base.boolean_evidence_allowed(class_name, left, right)
+
+    def class_order(self):
+        return self._base.class_order()
+
+    # -- the tuned part -----------------------------------------------------
+    def rv_score(self, class_name: str, evidence: Mapping[str, float]) -> float:
+        base_score = self._base.rv_score(class_name, evidence)
+        weights = self._learned.get(class_name)
+        if not weights:
+            return base_score
+        learned_score = sum(
+            weight * evidence.get(channel, 0.0)
+            for channel, weight in weights.items()
+        )
+        return min(1.0, max(base_score, learned_score))
+
+
+def tune_domain(
+    store: ReferenceStore,
+    domain: DomainModel,
+    gold: Mapping[str, str],
+    class_names: Sequence[str],
+) -> TunedDomainModel:
+    """Convenience: collect, fit and wrap in one call."""
+    learned = {}
+    for class_name in class_names:
+        training = collect_training_pairs(store, domain, class_name, gold)
+        if training.pairs and 0 < training.n_matches < len(training.pairs):
+            learned[class_name] = fit_profile_weights(training)
+    return TunedDomainModel(domain, learned)

@@ -1,0 +1,81 @@
+"""Attribute-level similarity substrate.
+
+Everything the reconciliation engine knows about *strings* lives here:
+generic metrics (:mod:`repro.similarity.strings`), domain comparators
+for names, emails, venues, titles and pages, the cross-attribute
+name-vs-email evidence, corpus TF-IDF weighting, and weight learning.
+"""
+
+from .corpus import TfIdfCorpus
+from .emails import ParsedEmail, email_similarity, parse_email, same_server
+from .name_email import name_email_similarity
+from .names import (
+    NameCompat,
+    ParsedName,
+    full_name_pair,
+    name_compatibility,
+    name_similarity,
+    parse_name,
+)
+from .nicknames import all_name_forms, canonical_given_names, share_canonical_given_name
+from .phonetic import metaphone, phonetic_similarity, soundex
+from .strings import (
+    containment_similarity,
+    damerau_levenshtein_distance,
+    damerau_levenshtein_similarity,
+    dice_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    longest_common_substring_similarity,
+    monge_elkan_similarity,
+    ngram_similarity,
+    prefix_similarity,
+)
+from .titles import pages_similarity, title_similarity, year_similarity
+from .tokens import acronym_of, is_acronym_of, normalize, tokenize
+from .venues import venue_name_similarity
+
+__all__ = [
+    "TfIdfCorpus",
+    "ParsedEmail",
+    "email_similarity",
+    "parse_email",
+    "same_server",
+    "name_email_similarity",
+    "NameCompat",
+    "ParsedName",
+    "full_name_pair",
+    "name_compatibility",
+    "name_similarity",
+    "parse_name",
+    "all_name_forms",
+    "canonical_given_names",
+    "share_canonical_given_name",
+    "metaphone",
+    "phonetic_similarity",
+    "soundex",
+    "containment_similarity",
+    "damerau_levenshtein_distance",
+    "damerau_levenshtein_similarity",
+    "dice_similarity",
+    "jaccard_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "longest_common_substring_similarity",
+    "monge_elkan_similarity",
+    "ngram_similarity",
+    "prefix_similarity",
+    "pages_similarity",
+    "title_similarity",
+    "year_similarity",
+    "acronym_of",
+    "is_acronym_of",
+    "normalize",
+    "tokenize",
+    "venue_name_similarity",
+]

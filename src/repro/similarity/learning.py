@@ -1,0 +1,131 @@
+"""Learning the linear S_rv weights from labelled pairs.
+
+The paper sets the Equation-1 weights by hand but notes (§4, §7) that
+they "can be learned from training data". This module implements that
+future-work direction with two small, dependency-free learners:
+
+* :func:`fit_least_squares` — closed-form ridge regression of the
+  match label on the evidence vector, then projection onto the simplex
+  (non-negative weights summing to at most 1, as Equation 1 requires
+  for the score to stay in [0, 1]).
+* :class:`PerceptronWeightLearner` — an online margin perceptron for
+  streams of labelled pairs (user-feedback style training).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LabeledPair", "fit_least_squares", "PerceptronWeightLearner", "project_to_simplex"]
+
+
+@dataclass(frozen=True)
+class LabeledPair:
+    """One training example: an evidence vector and its match label."""
+
+    features: tuple[float, ...]
+    is_match: bool
+
+
+def project_to_simplex(weights: np.ndarray, *, total: float = 1.0) -> np.ndarray:
+    """Project *weights* onto {w : w >= 0, sum(w) <= total}.
+
+    Uses the standard sorted-threshold algorithm for the probability
+    simplex, applied only when the positive part exceeds *total*.
+    """
+    clipped = np.maximum(weights, 0.0)
+    if clipped.sum() <= total:
+        return clipped
+    descending = np.sort(clipped)[::-1]
+    cumulative = np.cumsum(descending) - total
+    indices = np.arange(1, len(clipped) + 1)
+    mask = descending - cumulative / indices > 0
+    rho = int(np.nonzero(mask)[0][-1]) + 1
+    theta = cumulative[rho - 1] / rho
+    return np.maximum(clipped - theta, 0.0)
+
+
+def fit_least_squares(
+    pairs: Sequence[LabeledPair], *, ridge: float = 1e-3, total: float = 1.0
+) -> tuple[float, ...]:
+    """Fit Equation-1 weights by ridge regression + simplex projection.
+
+    The regression target is 1.0 for matches and 0.0 for non-matches,
+    so the learned S_rv approximates the match probability. Raises
+    ``ValueError`` on empty or ragged input.
+    """
+    if not pairs:
+        raise ValueError("need at least one labelled pair")
+    width = len(pairs[0].features)
+    if any(len(pair.features) != width for pair in pairs):
+        raise ValueError("feature vectors must share one length")
+    design = np.array([pair.features for pair in pairs], dtype=float)
+    target = np.array([1.0 if pair.is_match else 0.0 for pair in pairs])
+    gram = design.T @ design + ridge * np.eye(width)
+    weights = np.linalg.solve(gram, design.T @ target)
+    return tuple(float(w) for w in project_to_simplex(weights, total=total))
+
+
+class PerceptronWeightLearner:
+    """Online margin perceptron for S_rv weights.
+
+    Feed labelled pairs with :meth:`update`; read :attr:`weights` at
+    any time. Updates that would leave the feasible region are
+    projected back, so the current weights always form a valid
+    Equation-1 parameterisation.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        *,
+        learning_rate: float = 0.1,
+        margin: float = 0.15,
+        threshold: float = 0.5,
+        total: float = 1.0,
+    ) -> None:
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        self._weights = np.full(n_features, 1.0 / n_features)
+        self._learning_rate = learning_rate
+        self._margin = margin
+        self._threshold = threshold
+        self._total = total
+        self.updates_applied = 0
+
+    @property
+    def weights(self) -> tuple[float, ...]:
+        return tuple(float(w) for w in self._weights)
+
+    def score(self, features: Sequence[float]) -> float:
+        """Current S_rv for an evidence vector."""
+        return float(np.dot(self._weights, np.asarray(features, dtype=float)))
+
+    def update(self, pair: LabeledPair) -> bool:
+        """Apply one online update; return True when weights moved."""
+        features = np.asarray(pair.features, dtype=float)
+        if features.shape != self._weights.shape:
+            raise ValueError("feature width mismatch")
+        score = float(np.dot(self._weights, features))
+        if pair.is_match and score < self._threshold + self._margin:
+            self._weights = self._weights + self._learning_rate * features
+        elif not pair.is_match and score > self._threshold - self._margin:
+            self._weights = self._weights - self._learning_rate * features
+        else:
+            return False
+        self._weights = project_to_simplex(self._weights, total=self._total)
+        self.updates_applied += 1
+        return True
+
+    def fit(self, pairs: Sequence[LabeledPair], *, epochs: int = 10) -> tuple[float, ...]:
+        """Run several epochs over *pairs*; return the final weights."""
+        for _ in range(epochs):
+            moved = False
+            for pair in pairs:
+                moved = self.update(pair) or moved
+            if not moved:
+                break
+        return self.weights

@@ -1,0 +1,175 @@
+"""Phonetic codes: Soundex and a simplified Metaphone.
+
+Classic record-linkage substrate (Newcombe 1959 matched vital records
+on Soundex-coded surnames). The codes are available as extra evidence
+channels and blocking keys for domains whose names suffer heavy
+spelling variation — they complement, not replace, the edit-distance
+comparators.
+"""
+
+from __future__ import annotations
+
+from .tokens import normalize
+
+__all__ = ["soundex", "metaphone", "phonetic_similarity"]
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+
+
+def soundex(word: str) -> str:
+    """American Soundex code of *word* ("" for non-alphabetic input).
+
+    >>> soundex("Robert")
+    'R163'
+    >>> soundex("Rupert")
+    'R163'
+    >>> soundex("Ashcraft")
+    'A261'
+    """
+    letters = [ch for ch in normalize(word) if ch.isalpha()]
+    if not letters:
+        return ""
+    first = letters[0]
+    encoded: list[str] = []
+    previous_code = _SOUNDEX_CODES.get(first, "")
+    for ch in letters[1:]:
+        code = _SOUNDEX_CODES.get(ch, "")
+        if ch in "hw":
+            # h/w are transparent: they do not reset the run.
+            continue
+        if code and code != previous_code:
+            encoded.append(code)
+        previous_code = code
+    return (first.upper() + "".join(encoded) + "000")[:4]
+
+
+_VOWELS = set("aeiou")
+
+
+def metaphone(word: str, *, max_length: int = 6) -> str:
+    """A compact Metaphone-style key (simplified Philips 1990 rules).
+
+    >>> metaphone("Stonebraker") == metaphone("Stonebracker")
+    True
+    """
+    text = "".join(ch for ch in normalize(word) if ch.isalpha())
+    if not text:
+        return ""
+    # Initial-letter exceptions.
+    for prefix in ("kn", "gn", "pn", "wr", "ae"):
+        if text.startswith(prefix):
+            text = text[1:]
+            break
+    if text.startswith("x"):
+        text = "s" + text[1:]
+    result: list[str] = []
+    i = 0
+    length = len(text)
+    while i < length and len(result) < max_length:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < length else ""
+        prev = text[i - 1] if i > 0 else ""
+        if ch in _VOWELS:
+            if i == 0:
+                result.append(ch.upper())
+            i += 1
+            continue
+        if ch == prev and ch != "c":
+            i += 1
+            continue
+        if ch == "b":
+            if not (i == length - 1 and prev == "m"):
+                result.append("B")
+        elif ch == "c":
+            if nxt == "h":
+                result.append("X")
+                i += 1
+            elif nxt in "iey":
+                result.append("S")
+            else:
+                result.append("K")
+        elif ch == "d":
+            if nxt == "g" and i + 2 < length and text[i + 2] in "iey":
+                result.append("J")
+                i += 2
+            else:
+                result.append("T")
+        elif ch == "g":
+            if nxt == "h":
+                if i + 2 >= length or text[i + 2] in _VOWELS:
+                    result.append("K")
+                i += 1
+            elif nxt in "iey":
+                result.append("J")
+            else:
+                result.append("K")
+        elif ch == "h":
+            if prev in _VOWELS and nxt not in _VOWELS:
+                pass
+            else:
+                result.append("H")
+        elif ch in "fjlmnr":
+            result.append(ch.upper())
+        elif ch == "k":
+            if prev != "c":
+                result.append("K")
+        elif ch == "p":
+            result.append("F" if nxt == "h" else "P")
+            if nxt == "h":
+                i += 1
+        elif ch == "q":
+            result.append("K")
+        elif ch == "s":
+            if nxt == "h":
+                result.append("X")
+                i += 1
+            elif nxt == "i" and i + 2 < length and text[i + 2] in "oa":
+                result.append("X")
+            else:
+                result.append("S")
+        elif ch == "t":
+            if nxt == "h":
+                result.append("0")
+                i += 1
+            elif nxt == "i" and i + 2 < length and text[i + 2] in "oa":
+                result.append("X")
+            else:
+                result.append("T")
+        elif ch == "v":
+            result.append("F")
+        elif ch == "w":
+            if nxt in _VOWELS:
+                result.append("W")
+        elif ch == "x":
+            result.extend(("K", "S"))
+        elif ch == "y":
+            if nxt in _VOWELS:
+                result.append("Y")
+        elif ch == "z":
+            result.append("S")
+        i += 1
+    return "".join(result)[:max_length]
+
+
+def phonetic_similarity(left: str, right: str) -> float:
+    """Graded phonetic agreement of two words in [0, 1].
+
+    1.0 when both codes agree, 0.7 on Soundex-only agreement, 0.0
+    otherwise. Intended as a coarse supplementary channel.
+    """
+    if not left or not right:
+        return 0.0
+    meta_left, meta_right = metaphone(left), metaphone(right)
+    if meta_left and meta_left == meta_right:
+        return 1.0
+    sdx_left, sdx_right = soundex(left), soundex(right)
+    if sdx_left and sdx_left == sdx_right:
+        return 0.7
+    return 0.0

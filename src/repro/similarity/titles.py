@@ -1,0 +1,101 @@
+"""Article-title and page-range similarity."""
+
+from __future__ import annotations
+
+import re
+
+from .corpus import TfIdfCorpus
+from .strings import damerau_levenshtein_similarity, jaccard_similarity
+from .tokens import tokenize
+
+__all__ = ["title_similarity", "pages_similarity", "year_similarity"]
+
+_PAGE_RE = re.compile(r"(\d+)\s*(?:--?|–|—)\s*(\d+)")
+_NUMBER_RE = re.compile(r"\d+")
+
+
+def title_similarity(left: str, right: str, *, corpus: TfIdfCorpus | None = None) -> float:
+    """Similarity of two article titles in [0, 1].
+
+    With a :class:`TfIdfCorpus` the comparison is soft-TF-IDF weighted;
+    without one it falls back to token Jaccard blended with edit
+    similarity (robust to both word drops and character typos).
+    """
+    if not left or not right:
+        return 0.0
+    left_norm = " ".join(tokenize(left))
+    right_norm = " ".join(tokenize(right))
+    if left_norm and left_norm == right_norm:
+        return 1.0
+    if corpus is not None and len(corpus) > 0:
+        return corpus.soft_cosine(left_norm, right_norm)
+    token_score = jaccard_similarity(
+        tokenize(left, drop_stopwords=True), tokenize(right, drop_stopwords=True)
+    )
+    char_score = damerau_levenshtein_similarity(left_norm, right_norm)
+    return max(token_score, char_score)
+
+
+def _parse_pages(text: str) -> tuple[int, int] | None:
+    match = _PAGE_RE.search(text)
+    if match:
+        start, end = int(match.group(1)), int(match.group(2))
+        return (start, end) if start <= end else (end, start)
+    numbers = _NUMBER_RE.findall(text)
+    if len(numbers) == 1:
+        page = int(numbers[0])
+        return (page, page)
+    return None
+
+
+def pages_similarity(left: str, right: str) -> float:
+    """Similarity of two page-range strings.
+
+    Equal ranges score 1; a bare start page matching a range's start
+    scores high (citations often drop the end page); disjoint ranges
+    score 0.
+    """
+    if not left or not right:
+        return 0.0
+    left_range = _parse_pages(left)
+    right_range = _parse_pages(right)
+    if left_range is None or right_range is None:
+        return 1.0 if left.strip() == right.strip() else 0.0
+    if left_range == right_range:
+        return 1.0
+    if left_range[0] == right_range[0]:
+        return 0.9
+    # Overlapping ranges still suggest the same article (off-by-one OCR).
+    if left_range[0] <= right_range[1] and right_range[0] <= left_range[1]:
+        return 0.6
+    return 0.0
+
+
+def year_similarity(left: str, right: str) -> float:
+    """Similarity of two publication-year strings.
+
+    Equal years score 1; adjacent years score 0.5 (conference vs
+    proceedings-printing year); anything else 0. Two-digit years are
+    interpreted in the 19xx/20xx window that makes them closest.
+    """
+    left_years = _NUMBER_RE.findall(left or "")
+    right_years = _NUMBER_RE.findall(right or "")
+    if not left_years or not right_years:
+        return 0.0
+    best = 0.0
+    for left_text in left_years:
+        for right_text in right_years:
+            left_year = _expand_year(int(left_text))
+            right_year = _expand_year(int(right_text))
+            delta = abs(left_year - right_year)
+            if delta == 0:
+                best = max(best, 1.0)
+            elif delta == 1:
+                best = max(best, 0.5)
+    return best
+
+
+def _expand_year(year: int) -> int:
+    if year >= 100:
+        return year
+    return 1900 + year if year >= 30 else 2000 + year

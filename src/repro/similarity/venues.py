@@ -1,0 +1,174 @@
+"""Venue-name similarity with acronym awareness.
+
+Conference and journal mentions range from full names ("ACM Conference
+on Management of Data") through branded acronym phrases ("ACM SIGMOD")
+to bare acronyms ("SIGMOD", "VLDB"). Pure string metrics score such
+pairs near zero; this module layers acronym expansion and containment
+on top of token overlap so that they score high, which is what drives
+the paper's venue-recall results (Table 2, Table 7).
+"""
+
+from __future__ import annotations
+
+from .strings import (
+    containment_similarity,
+    damerau_levenshtein_similarity,
+    jaccard_similarity,
+    monge_elkan_similarity,
+)
+from .tokens import STOPWORDS, is_acronym_of, tokenize
+
+__all__ = ["venue_name_similarity", "KNOWN_ACRONYMS", "expand_venue_tokens"]
+
+# Curated expansions for acronyms whose letters do not line up with the
+# venue's full name ("SIGMOD" is not the initials of "Conference on
+# Management of Data"). Real deployments learn these from co-citation;
+# we seed the table with the ones the synthetic corpus uses.
+KNOWN_ACRONYMS: dict[str, frozenset[str]] = {
+    "sigmod": frozenset({"management", "data"}),
+    "vldb": frozenset({"very", "large", "data", "bases", "databases"}),
+    "icde": frozenset({"data", "engineering"}),
+    "sigir": frozenset({"information", "retrieval"}),
+    "sigkdd": frozenset({"knowledge", "discovery", "data", "mining"}),
+    "kdd": frozenset({"knowledge", "discovery", "data", "mining"}),
+    "nips": frozenset({"neural", "information", "processing", "systems"}),
+    "neurips": frozenset({"neural", "information", "processing", "systems"}),
+    "icml": frozenset({"machine", "learning"}),
+    "aaai": frozenset({"artificial", "intelligence"}),
+    "ijcai": frozenset({"artificial", "intelligence"}),
+    "sosp": frozenset({"operating", "systems", "principles"}),
+    "osdi": frozenset({"operating", "systems", "design", "implementation"}),
+    "podc": frozenset({"principles", "distributed", "computing"}),
+    "pods": frozenset({"principles", "database", "systems"}),
+    "stoc": frozenset({"theory", "computing"}),
+    "focs": frozenset({"foundations", "computer", "science"}),
+    "soda": frozenset({"discrete", "algorithms"}),
+    "cacm": frozenset({"communications", "acm"}),
+    "tods": frozenset({"transactions", "database", "systems"}),
+    "tkde": frozenset({"transactions", "knowledge", "data", "engineering"}),
+    "jacm": frozenset({"journal", "acm"}),
+    "cidr": frozenset({"innovative", "data", "systems", "research"}),
+    "edbt": frozenset({"extending", "database", "technology"}),
+    "cikm": frozenset({"information", "knowledge", "management"}),
+    "www": frozenset({"world", "wide", "web"}),
+    "colt": frozenset({"computational", "learning", "theory"}),
+    "uai": frozenset({"uncertainty", "artificial", "intelligence"}),
+    "acl": frozenset({"association", "computational", "linguistics"}),
+    "emnlp": frozenset({"empirical", "methods", "natural", "language", "processing"}),
+    "cvpr": frozenset({"computer", "vision", "pattern", "recognition"}),
+    "sigcomm": frozenset({"data", "communication"}),
+    "infocom": frozenset({"computer", "communications"}),
+    "dasfaa": frozenset({"database", "systems", "advanced", "applications"}),
+}
+
+# Generic venue boilerplate that should not drive the match. Note
+# "transactions" and "journal" are NOT here: they distinguish journal
+# series from the conferences sharing their topic tokens (TODS vs PODS
+# both speak of database systems; only one is a Transactions).
+_GENERIC = frozenset(
+    {
+        "proceedings",
+        "proc",
+        "conference",
+        "conf",
+        "international",
+        "intl",
+        "annual",
+        "symposium",
+        "symp",
+        "workshop",
+        "acm",
+        "ieee",
+        "usenix",
+        "meeting",
+    }
+)
+
+
+def expand_venue_tokens(mention: str) -> set[str]:
+    """Content tokens of a venue mention, with known acronyms expanded.
+
+    >>> sorted(expand_venue_tokens("ACM SIGMOD"))
+    ['data', 'management', 'sigmod']
+    """
+    tokens = {
+        token
+        for token in tokenize(mention, drop_stopwords=True)
+        # Digits (years, ordinals, volume numbers) say nothing about
+        # which venue this is.
+        if not token.isdigit()
+    }
+    expanded = set(tokens)
+    for token in tokens:
+        expansion = KNOWN_ACRONYMS.get(token)
+        if expansion:
+            expanded |= expansion
+    return expanded - _GENERIC - STOPWORDS
+
+
+def _acronym_bridge(left_tokens: list[str], right_tokens: list[str]) -> bool:
+    """True when one mention is (or contains) an acronym of the other."""
+    for token in left_tokens:
+        if is_acronym_of(token, right_tokens):
+            return True
+    for token in right_tokens:
+        if is_acronym_of(token, left_tokens):
+            return True
+    return False
+
+
+def venue_name_similarity(left: str, right: str) -> float:
+    """Similarity in [0, 1] of two venue-name mentions.
+
+    >>> venue_name_similarity("ACM Conference on Management of Data",
+    ...                       "ACM SIGMOD") >= 0.8
+    True
+    """
+    if not left or not right:
+        return 0.0
+    left_norm = " ".join(tokenize(left))
+    right_norm = " ".join(tokenize(right))
+    if left_norm and left_norm == right_norm:
+        return 1.0
+
+    left_raw = tokenize(left, drop_stopwords=True)
+    right_raw = tokenize(right, drop_stopwords=True)
+    left_content = expand_venue_tokens(left)
+    right_content = expand_venue_tokens(right)
+
+    scores = [0.0]
+
+    if left_content and right_content:
+        overlap = containment_similarity(left_content, right_content)
+        jaccard = jaccard_similarity(left_content, right_content)
+        if overlap >= 1.0 - 1e-9:
+            # One mention's content is contained in the other's. Never
+            # decisive on its own — "Machine Learning" (the journal) is
+            # contained in "International Conference on Machine
+            # Learning" — but strong supporting evidence that lets one
+            # reconciled article (β) or an agreeing year settle it.
+            size_gap = abs(len(left_content) - len(right_content))
+            if size_gap <= 1 and min(len(left_content), len(right_content)) >= 2:
+                scores.append(0.80)
+            else:
+                scores.append(0.70 + 0.1 * jaccard)
+        scores.append(0.55 * jaccard + 0.35 * overlap)
+
+    if _acronym_bridge(left_raw, right_raw):
+        scores.append(0.88)
+
+    # Shared distinctive acronym token ("sigmod" on both sides, maybe
+    # wrapped in different boilerplate).
+    left_acros = {token for token in left_raw if token in KNOWN_ACRONYMS}
+    right_acros = {token for token in right_raw if token in KNOWN_ACRONYMS}
+    if left_acros & right_acros:
+        scores.append(0.95)
+    elif left_acros and right_acros:
+        # Two different known acronyms are strong negative evidence.
+        return min(max(scores), 0.2)
+
+    # Fall back to fuzzy token alignment for typo-level noise.
+    scores.append(0.8 * monge_elkan_similarity(left_norm, right_norm))
+    scores.append(0.8 * damerau_levenshtein_similarity(left_norm, right_norm))
+
+    return min(max(scores), 1.0)

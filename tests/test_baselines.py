@@ -1,0 +1,97 @@
+"""Tests for the InDepDec baseline config and the ablation grid."""
+
+from repro.baselines import (
+    ARTICLE,
+    ATTR_WISE,
+    CONTACT,
+    EVIDENCE_LEVELS,
+    MODES,
+    NAME_EMAIL,
+    ablation_config,
+    indepdec_config,
+)
+from repro.core import FULL, MERGE, PROPAGATION, TRADITIONAL
+from repro.domains import CoraDomainModel, PimDomainModel
+
+
+class TestIndepdecConfig:
+    def test_disables_everything_contextual(self):
+        config = indepdec_config(PimDomainModel())
+        assert not config.propagate
+        assert not config.enrich
+        assert not config.constraints
+        assert "name_email" in config.disabled_channels
+        assert "authors" in config.disabled_channels
+        assert "venue" in config.disabled_channels
+        assert ("Article", "Person") in config.disabled_strong
+        assert ("Article", "Venue") in config.disabled_strong
+        assert "Person" in config.disabled_weak
+
+    def test_keys_still_active(self):
+        config = indepdec_config(PimDomainModel())
+        assert config.premerge_keys
+        assert config.channel_enabled("email")
+        assert config.channel_enabled("name")
+
+    def test_cora_variant(self):
+        config = indepdec_config(CoraDomainModel())
+        assert ("Article", "Venue") in config.disabled_strong
+        assert "Person" in config.disabled_weak
+
+
+class TestAblationGrid:
+    def test_grid_dimensions(self):
+        assert len(EVIDENCE_LEVELS) == 4
+        assert len(MODES) == 4
+        assert [m.name for m in MODES] == [
+            "Traditional",
+            "Propagation",
+            "Merge",
+            "Full",
+        ]
+        assert [e.name for e in EVIDENCE_LEVELS] == [
+            "Attr-wise",
+            "Name&Email",
+            "Article",
+            "Contact",
+        ]
+
+    def test_cumulative_evidence(self):
+        attr = ablation_config(ATTR_WISE, FULL)
+        assert not attr.channel_enabled("name_email")
+        assert not attr.strong_enabled("Article", "Person")
+        assert not attr.weak_enabled("Person")
+
+        name_email = ablation_config(NAME_EMAIL, FULL)
+        assert name_email.channel_enabled("name_email")
+        assert not name_email.strong_enabled("Article", "Person")
+
+        article = ablation_config(ARTICLE, FULL)
+        assert article.strong_enabled("Article", "Person")
+        assert not article.weak_enabled("Person")
+
+        contact = ablation_config(CONTACT, FULL)
+        assert contact.channel_enabled("name_email")
+        assert contact.strong_enabled("Article", "Person")
+        assert contact.weak_enabled("Person")
+
+    def test_modes_set_flags(self):
+        assert ablation_config(CONTACT, TRADITIONAL).propagate is False
+        assert ablation_config(CONTACT, TRADITIONAL).enrich is False
+        assert ablation_config(CONTACT, PROPAGATION).propagate is True
+        assert ablation_config(CONTACT, PROPAGATION).enrich is False
+        assert ablation_config(CONTACT, MERGE).propagate is False
+        assert ablation_config(CONTACT, MERGE).enrich is True
+        assert ablation_config(CONTACT, FULL).propagate is True
+        assert ablation_config(CONTACT, FULL).enrich is True
+
+    def test_article_venue_machinery_stays_on(self):
+        """The grid varies Person evidence only."""
+        config = ablation_config(ATTR_WISE, TRADITIONAL)
+        assert config.strong_enabled("Article", "Venue")
+        assert config.channel_enabled("authors")
+        assert config.channel_enabled("title")
+
+    def test_constraints_toggle(self):
+        assert ablation_config(CONTACT, FULL).constraints
+        assert not ablation_config(CONTACT, FULL, constraints=False).constraints

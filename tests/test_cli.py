@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli") / "dataset"
+    code = main(["generate", "A", str(directory), "--scale", "0.2"])
+    assert code == 0
+    return directory
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(["generate", "cora", "/tmp/x"])
+        assert args.command == "generate"
+        assert args.dataset == "cora"
+
+    def test_bad_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "Z", "/tmp/x"])
+
+
+class TestCommands:
+    def test_generate_writes_files(self, dataset_dir):
+        assert (dataset_dir / "meta.json").exists()
+        assert (dataset_dir / "references.jsonl").exists()
+        assert (dataset_dir / "gold.jsonl").exists()
+
+    def test_reconcile_to_file(self, dataset_dir, tmp_path, capsys):
+        output = tmp_path / "partition.json"
+        code = main(["reconcile", str(dataset_dir), "--output", str(output)])
+        assert code == 0
+        payload = json.loads(output.read_text())
+        assert set(payload) == {"Person", "Article", "Venue"}
+        assert all(isinstance(cluster, list) for cluster in payload["Person"])
+
+    def test_reconcile_to_stdout(self, dataset_dir, capsys):
+        code = main(["reconcile", str(dataset_dir)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "Person" in payload
+
+    def test_evaluate(self, dataset_dir, capsys):
+        code = main(["evaluate", str(dataset_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pairwise" in out and "b3" in out
+        assert "Person" in out
+
+    def test_evaluate_indepdec(self, dataset_dir, capsys):
+        code = main(["evaluate", str(dataset_dir), "--algorithm", "indepdec"])
+        assert code == 0
+        assert "indepdec" in capsys.readouterr().out
+
+    def test_explain(self, dataset_dir, capsys):
+        from repro.datasets.io import load_dataset
+
+        dataset = load_dataset(dataset_dir)
+        refs = dataset.gold.refs_of_class("Person")[:2]
+        code = main(["explain", str(dataset_dir), refs[0], refs[1]])
+        assert code == 0
+        assert refs[0] in capsys.readouterr().out
+
+    def test_explain_unknown_ref(self, dataset_dir, capsys):
+        code = main(["explain", str(dataset_dir), "nope", "nada"])
+        assert code == 2
+
+    def test_tables_table1(self, capsys):
+        code = main(["tables", "1", "--scale", "0.2"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_tables_fig6(self, capsys):
+        code = main(["tables", "fig6", "--scale", "0.2"])
+        assert code == 0
+        assert "Figure 6" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Tests for the dependency graph: uniqueness, edges, enrichment fusion."""
+
+from repro.core.graph import DependencyGraph
+from repro.core.nodes import EdgeType, NodeStatus, pair_key
+from repro.core.partition import UnionFind
+
+
+def make_graph():
+    graph = DependencyGraph()
+    node_ab = graph.add_pair_node("Person", "a", "b")
+    node_ac = graph.add_pair_node("Person", "a", "c")
+    node_bc = graph.add_pair_node("Person", "b", "c")
+    return graph, node_ab, node_ac, node_bc
+
+
+class TestUniqueness:
+    def test_pair_node_unique_per_pair(self):
+        graph = DependencyGraph()
+        first = graph.add_pair_node("Person", "a", "b")
+        second = graph.add_pair_node("Person", "b", "a")
+        assert first is second
+        assert graph.pair_nodes_created == 1
+
+    def test_value_node_unique_per_value_pair(self):
+        graph = DependencyGraph()
+        first = graph.value_node("name", "x", "y", 0.8)
+        second = graph.value_node("name", "y", "x", 0.8)
+        assert first is second
+        assert graph.value_nodes_created == 1
+
+    def test_value_node_distinct_per_channel(self):
+        graph = DependencyGraph()
+        first = graph.value_node("name", "x", "y", 0.8)
+        second = graph.value_node("email", "x", "y", 0.8)
+        assert first is not second
+
+
+class TestEdges:
+    def test_typed_edges(self):
+        graph, node_ab, node_ac, _ = make_graph()
+        graph.add_edge(node_ab, node_ac, EdgeType.REAL)
+        graph.add_edge(node_ab, node_ac, EdgeType.STRONG)
+        graph.add_edge(node_ac, node_ab, EdgeType.WEAK)
+        assert node_ac.key in node_ab.real_out
+        assert node_ab.key in node_ac.real_in
+        assert node_ac.key in node_ab.strong_out
+        assert node_ac.key in node_ab.weak_in
+        assert list(graph.real_out_nodes(node_ab)) == [node_ac]
+        assert list(graph.strong_in_nodes(node_ac)) == [node_ab]
+
+
+class TestFusion:
+    def test_lone_node_rekeyed(self):
+        graph = DependencyGraph()
+        node = graph.add_pair_node("Person", "b", "c")
+        uf = UnionFind()
+        uf.union("a", "b")
+        report = graph.merge_elements("a", "b", same_cluster=uf.connected)
+        assert report.removed == 0
+        assert [n for n in report.reactivate] == [node]
+        assert node.key == pair_key("a", "c")
+        # The old key resolves to the new one.
+        assert graph.get("b", "c") is node
+        assert graph.get("a", "c") is node
+
+    def test_duplicate_nodes_fused(self):
+        graph, node_ab, node_ac, node_bc = make_graph()
+        other = graph.add_pair_node("Person", "d", "e")
+        graph.add_edge(other, node_bc, EdgeType.WEAK)
+        node_ac.score = 0.4
+        node_bc.score = 0.6
+        uf = UnionFind()
+        uf.union("a", "b")
+        report = graph.merge_elements(uf.find("a"), "b" if uf.find("a") == "a" else "a",
+                                      same_cluster=uf.connected)
+        # (a,c) and (b,c) collapse into one node carrying max score and
+        # the union of neighbours.
+        survivor = graph.get("a", "c")
+        assert survivor is graph.get("b", "c")
+        assert survivor.score == 0.6
+        assert report.removed == 1
+        assert other.key in survivor.weak_in
+
+    def test_intra_cluster_node_marked_merged(self):
+        graph, node_ab, _, _ = make_graph()
+        uf = UnionFind()
+        uf.union("a", "b")
+        report = graph.merge_elements("a", "b", same_cluster=uf.connected)
+        assert node_ab in report.intra
+        assert node_ab.status is NodeStatus.MERGED
+        assert node_ab.score == 1.0
+
+    def test_non_merge_status_sticks_through_fusion(self):
+        graph, _, node_ac, node_bc = make_graph()
+        node_bc.status = NodeStatus.NON_MERGE
+        uf = UnionFind()
+        uf.union("a", "b")
+        graph.merge_elements("a", "b", same_cluster=uf.connected)
+        assert graph.get("a", "c").status is NodeStatus.NON_MERGE
+
+    def test_value_evidence_pooled(self):
+        graph = DependencyGraph()
+        node_ac = graph.add_pair_node("Person", "a", "c")
+        node_bc = graph.add_pair_node("Person", "b", "c")
+        node_ac.add_value_evidence(graph.value_node("name", "x", "y", 0.7))
+        node_bc.add_value_evidence(graph.value_node("name", "x", "z", 0.9))
+        uf = UnionFind()
+        uf.union("a", "b")
+        graph.merge_elements("a", "b", same_cluster=uf.connected)
+        survivor = graph.get("a", "c")
+        # MAX over the pooled value nodes — the enrichment semantics.
+        assert survivor.channel_score("name") == 0.9
+
+    def test_resolution_chain_compresses(self):
+        graph = DependencyGraph()
+        graph.add_pair_node("Person", "a", "z")
+        graph.add_pair_node("Person", "b", "z")
+        graph.add_pair_node("Person", "c", "z")
+        uf = UnionFind()
+        uf.union("a", "b")
+        graph.merge_elements("a", "b", same_cluster=uf.connected)
+        uf.union("a", "c")
+        graph.merge_elements(uf.find("a"), "c", same_cluster=uf.connected)
+        # All historical keys resolve to the single surviving node.
+        survivor = graph.get("a", "z")
+        assert graph.get("b", "z") is survivor
+        assert graph.get("c", "z") is survivor
+        assert graph.fusions == 2

@@ -1,0 +1,84 @@
+"""Tests for EngineConfig helpers, modes, and ReconciliationResult."""
+
+import pytest
+
+from repro.core import (
+    FULL,
+    MERGE,
+    PROPAGATION,
+    TRADITIONAL,
+    EngineConfig,
+    Reconciler,
+    ReferenceStore,
+)
+from repro.core.model import Mode
+from repro.domains import PimDomainModel
+
+from .conftest import example1_references
+
+
+class TestModes:
+    def test_mode_constants(self):
+        assert TRADITIONAL == Mode("Traditional", propagate=False, enrich=False)
+        assert FULL.propagate and FULL.enrich
+        assert PROPAGATION.propagate and not PROPAGATION.enrich
+        assert MERGE.enrich and not MERGE.propagate
+
+    def test_with_mode(self):
+        config = EngineConfig().with_mode(TRADITIONAL)
+        assert not config.propagate and not config.enrich
+        # Other fields preserved.
+        assert config.constraints
+
+
+class TestEngineConfig:
+    def test_defaults_are_full_depgraph(self):
+        config = EngineConfig()
+        assert config.propagate and config.enrich and config.constraints
+        assert config.premerge_keys
+        assert config.channel_enabled("anything")
+        assert config.strong_enabled("A", "B")
+        assert config.weak_enabled("Person")
+
+    def test_filters(self):
+        config = EngineConfig(
+            disabled_channels=frozenset({"x"}),
+            disabled_strong=frozenset({("A", "B")}),
+            disabled_weak=frozenset({"C"}),
+        )
+        assert not config.channel_enabled("x")
+        assert config.channel_enabled("y")
+        assert not config.strong_enabled("A", "B")
+        assert config.strong_enabled("B", "A")
+        assert not config.weak_enabled("C")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            EngineConfig().propagate = False
+
+
+class TestResult:
+    @pytest.fixture(scope="class")
+    def result(self):
+        domain = PimDomainModel()
+        store = ReferenceStore(domain.schema, example1_references())
+        return Reconciler(store, domain, EngineConfig()).run()
+
+    def test_entity_of_stable_within_cluster(self, result):
+        assert result.entity_of("p2") == result.entity_of("p9")
+        assert result.entity_of("p2") != result.entity_of("p3")
+
+    def test_matched_pairs(self, result):
+        pairs = result.matched_pairs("Person")
+        assert ("p2", "p5") in pairs or ("p5", "p2") in pairs
+        # C(4,2) + C(3,2) + C(2,2... )
+        assert len(pairs) == 6 + 3 + 1
+
+    def test_partition_count(self, result):
+        assert result.partition_count("Person") == 3
+        assert result.partition_count("Article") == 1
+        assert result.partition_count("Venue") == 1
+
+    def test_clusters_sorted(self, result):
+        for cluster in result.clusters("Person"):
+            assert cluster == sorted(cluster)

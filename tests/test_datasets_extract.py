@@ -1,0 +1,188 @@
+"""Tests for the extractor and the benchmark datasets' gold standards."""
+
+import random
+
+import pytest
+
+from repro.datasets.extract import extract_bib_references, extract_email_references
+from repro.datasets.generator.bibtex import BibCorpusConfig, generate_bib_entries
+from repro.datasets.generator.emails import (
+    EmailCorpusConfig,
+    Message,
+    Participant,
+    generate_messages,
+)
+from repro.datasets.generator.world import WorldConfig, build_world
+from repro.datasets.gold import GoldStandard
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(WorldConfig(n_persons=30, n_papers=15), random.Random(3))
+
+
+class TestEmailExtraction:
+    def test_dedup_by_presentation_and_bucket(self):
+        participants = (
+            Participant("e1", "Ann Smith", "ann@x.edu", "from"),
+            Participant("e2", None, "bob@y.edu", "to"),
+        )
+        messages = [
+            Message("m0", 0.01, participants),
+            Message("m1", 0.02, participants),  # identical, same bucket
+            Message("m2", 0.90, participants),  # identical, later bucket
+        ]
+        gold = GoldStandard()
+        refs = extract_email_references(messages, gold)
+        ann_refs = [r for r in refs if gold.entity_of[r.ref_id] == "e1"]
+        assert len(ann_refs) == 2  # bucket 0 and bucket 3
+
+    def test_contact_links_accumulate(self):
+        messages = [
+            Message(
+                "m0",
+                0.0,
+                (
+                    Participant("e1", "Ann", "ann@x.edu", "from"),
+                    Participant("e2", None, "bob@y.edu", "to"),
+                ),
+            ),
+            Message(
+                "m1",
+                0.01,
+                (
+                    Participant("e1", "Ann", "ann@x.edu", "from"),
+                    Participant("e3", None, "carl@z.edu", "to"),
+                ),
+            ),
+        ]
+        gold = GoldStandard()
+        refs = extract_email_references(messages, gold)
+        ann = next(r for r in refs if gold.entity_of[r.ref_id] == "e1")
+        assert len(ann.get("emailContact")) == 2
+
+    def test_sender_and_recipient_linked_both_ways(self):
+        messages = [
+            Message(
+                "m0",
+                0.0,
+                (
+                    Participant("e1", "Ann", "ann@x.edu", "from"),
+                    Participant("e2", "Bob", "bob@y.edu", "to"),
+                ),
+            )
+        ]
+        gold = GoldStandard()
+        refs = extract_email_references(messages, gold)
+        by_entity = {gold.entity_of[r.ref_id]: r for r in refs}
+        assert by_entity["e2"].ref_id in by_entity["e1"].get("emailContact")
+        assert by_entity["e1"].ref_id in by_entity["e2"].get("emailContact")
+
+    def test_full_corpus_extracts_cleanly(self, world):
+        messages = generate_messages(
+            world, EmailCorpusConfig(n_messages=100), random.Random(5)
+        )
+        gold = GoldStandard()
+        refs = extract_email_references(messages, gold)
+        assert refs
+        for ref in refs:
+            assert ref.class_name == "Person"
+            assert ref.get("email")
+            assert gold.source_of[ref.ref_id] == "email"
+
+
+class TestBibExtraction:
+    def test_entry_produces_article_persons_venue(self, world):
+        entries = generate_bib_entries(
+            world, BibCorpusConfig(n_files=1, entries_per_file=(3, 3)), random.Random(7)
+        )
+        gold = GoldStandard()
+        refs = extract_bib_references(entries, gold)
+        classes = [r.class_name for r in refs]
+        assert classes.count("Article") == len(entries)
+        assert classes.count("Venue") == len(entries)
+        assert classes.count("Person") == sum(len(e.author_names) for e in entries)
+
+    def test_article_links_resolve(self, world):
+        entries = generate_bib_entries(
+            world, BibCorpusConfig(n_files=2), random.Random(9)
+        )
+        gold = GoldStandard()
+        refs = extract_bib_references(entries, gold)
+        by_id = {r.ref_id: r for r in refs}
+        for ref in refs:
+            if ref.class_name != "Article":
+                continue
+            for author in ref.get("authoredBy"):
+                assert by_id[author].class_name == "Person"
+            (venue,) = ref.get("publishedIn")
+            assert by_id[venue].class_name == "Venue"
+
+    def test_coauthor_links_exclude_self(self, world):
+        entries = generate_bib_entries(
+            world, BibCorpusConfig(n_files=1), random.Random(11)
+        )
+        gold = GoldStandard()
+        refs = extract_bib_references(entries, gold)
+        for ref in refs:
+            if ref.class_name == "Person":
+                assert ref.ref_id not in ref.get("coAuthor")
+
+
+class TestGoldStandard:
+    def test_duplicate_rejected(self):
+        gold = GoldStandard()
+        gold.add("r1", "e1", "Person", "email")
+        with pytest.raises(ValueError):
+            gold.add("r1", "e1", "Person", "email")
+
+    def test_views(self):
+        gold = GoldStandard()
+        gold.add("r1", "e1", "Person", "email")
+        gold.add("r2", "e1", "Person", "bibtex")
+        gold.add("r3", "e2", "Venue", "bibtex")
+        assert gold.refs_of_class("Person") == ["r1", "r2"]
+        assert gold.refs_of_class("Person", source="email") == ["r1"]
+        assert gold.clusters("Person") == [["r1", "r2"]]
+        assert gold.clusters("Person", restrict_to=["r1"]) == [["r1"]]
+        assert gold.entity_count("Person") == 1
+        assert gold.total_entity_count() == 2
+        assert gold.reference_count() == 3
+        assert gold.reference_count("Venue") == 1
+
+
+class TestBenchmarkDatasets:
+    def test_pim_dataset_consistent(self, tiny_pim_a):
+        tiny_pim_a.store.validate()
+        gold = tiny_pim_a.gold
+        for ref in tiny_pim_a.store:
+            assert ref.ref_id in gold.entity_of
+            assert gold.class_of[ref.ref_id] == ref.class_name
+        summary = tiny_pim_a.summary()
+        assert summary["references"] == len(tiny_pim_a.store)
+
+    def test_pim_owner_is_most_popular(self, tiny_pim_a):
+        from collections import Counter
+
+        counts = Counter(
+            tiny_pim_a.gold.entity_of[r] for r in tiny_pim_a.gold.refs_of_class("Person")
+        )
+        owner_count = counts[tiny_pim_a.world.owner_id]
+        assert owner_count == max(counts.values())
+
+    def test_pim_d_owner_changed_name(self, tiny_pim_d):
+        assert tiny_pim_d.world.owner.former_name is not None
+
+    def test_cora_dataset_consistent(self, tiny_cora):
+        tiny_cora.store.validate()
+        assert tiny_cora.gold.entity_count("Article") <= 40
+        ratio = tiny_cora.summary()["ratio"]
+        assert ratio > 5
+
+    def test_generation_deterministic(self):
+        from repro.datasets import generate_pim_dataset
+
+        first = generate_pim_dataset("C", scale=0.2)
+        second = generate_pim_dataset("C", scale=0.2)
+        assert first.gold.entity_of == second.gold.entity_of
+        assert [r.ref_id for r in first.store] == [r.ref_id for r in second.store]

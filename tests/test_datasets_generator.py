@@ -1,0 +1,194 @@
+"""Tests for the synthetic world, corpus and noise generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.generator.bibtex import BibCorpusConfig, generate_bib_entries
+from repro.datasets.generator.emails import EmailCorpusConfig, generate_messages
+from repro.datasets.generator.names import (
+    NAME_FORMATS,
+    NamePool,
+    format_name,
+    typo,
+)
+from repro.datasets.generator.world import WorldConfig, build_world
+from repro.similarity.strings import damerau_levenshtein_distance
+
+
+class TestNamePool:
+    def test_no_accidental_homonyms(self):
+        pool = NamePool(random.Random(1), homonym_rate=0.0)
+        drawn = [pool.draw() for _ in range(150)]
+        combos = [(name.given, name.surname) for name in drawn]
+        assert len(set(combos)) == len(combos)
+
+    def test_homonym_rate_produces_twins(self):
+        pool = NamePool(random.Random(2), homonym_rate=0.5)
+        drawn = [pool.draw() for _ in range(80)]
+        combos = [(name.given, name.surname) for name in drawn]
+        assert len(set(combos)) < len(combos)
+
+    def test_culture_mix(self):
+        pool = NamePool(random.Random(3), culture_mix={"cn": 1.0})
+        drawn = [pool.draw() for _ in range(30)]
+        from repro.datasets.generator.names import _CN_SURNAME
+
+        assert all(name.surname in _CN_SURNAME for name in drawn)
+
+    def test_nicknames_consistent_with_table(self):
+        from repro.similarity.nicknames import canonical_given_names
+
+        pool = NamePool(random.Random(4))
+        for _ in range(120):
+            name = pool.draw()
+            if name.nickname:
+                assert name.given in canonical_given_names(name.nickname)
+
+
+class TestFormatName:
+    @pytest.fixture
+    def name(self):
+        pool = NamePool(random.Random(5), culture_mix={"us": 1.0}, middle_rate=1.0)
+        return pool.draw()
+
+    @pytest.mark.parametrize("style", NAME_FORMATS)
+    def test_all_styles_render(self, name, style):
+        rendered = format_name(name, style)
+        assert rendered.strip()
+
+    def test_specific_renderings(self):
+        from repro.datasets.generator.names import PersonName
+
+        name = PersonName(given="michael", middle="r", surname="stonebraker", nickname="mike")
+        assert format_name(name, "first_last") == "Michael Stonebraker"
+        assert format_name(name, "last_comma_initials") == "Stonebraker, M.R."
+        assert format_name(name, "initial_last") == "M. Stonebraker"
+        assert format_name(name, "nickname") == "mike"
+        assert format_name(name, "nickname_last") == "Mike Stonebraker"
+
+    def test_unknown_style_rejected(self, name):
+        with pytest.raises(ValueError):
+            format_name(name, "hexadecimal")
+
+
+class TestTypo:
+    @given(st.text(alphabet="abcdefgh", min_size=2, max_size=15), st.integers(0, 2**16))
+    @settings(max_examples=60)
+    def test_one_damerau_edit(self, text, seed):
+        mutated = typo(text, random.Random(seed))
+        assert damerau_levenshtein_distance(text, mutated) <= 1
+
+    def test_no_letters_untouched(self):
+        assert typo("123", random.Random(0)) == "123"
+
+
+class TestWorld:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world(WorldConfig(n_persons=60, n_papers=30), random.Random(7))
+
+    def test_counts(self, world):
+        non_lists = [p for p in world.persons.values() if not p.is_mailing_list]
+        assert len(non_lists) == 60
+        assert len(world.papers) == 30
+        assert world.owner_id in world.persons
+
+    def test_emails_unique(self, world):
+        all_emails = [
+            email for person in world.persons.values() for email in person.emails
+        ]
+        assert len(all_emails) == len(set(all_emails))
+
+    def test_papers_authored_within_circles(self, world):
+        circle_of = {}
+        for circle in world.circles:
+            for person_id in circle:
+                circle_of[person_id] = id(circle)
+        for paper in world.papers.values():
+            circles = {circle_of[a] for a in paper.author_ids}
+            assert len(circles) == 1
+
+    def test_paper_authors_distinct(self, world):
+        for paper in world.papers.values():
+            assert len(set(paper.author_ids)) == len(paper.author_ids)
+
+    def test_owner_name_change(self):
+        config = WorldConfig(
+            n_persons=20,
+            n_papers=5,
+            owner_changes_name=True,
+            owner_changes_account_same_server=True,
+        )
+        world = build_world(config, random.Random(9))
+        owner = world.owner
+        assert owner.former_name is not None
+        assert owner.former_name.surname != owner.name.surname
+        # The new account lives on the same server as an old one.
+        domains = [email.split("@", 1)[1] for email in owner.emails]
+        assert len(domains) != len(set(domains))
+
+    def test_determinism(self):
+        config = WorldConfig(n_persons=25, n_papers=10)
+        first = build_world(config, random.Random(42))
+        second = build_world(config, random.Random(42))
+        assert [p.emails for p in first.persons.values()] == [
+            p.emails for p in second.persons.values()
+        ]
+
+
+class TestCorpora:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world(WorldConfig(n_persons=40, n_papers=25), random.Random(11))
+
+    def test_messages_have_sender_and_recipients(self, world):
+        messages = generate_messages(
+            world, EmailCorpusConfig(n_messages=80), random.Random(13)
+        )
+        assert messages
+        for message in messages:
+            roles = [p.role for p in message.participants]
+            assert roles.count("from") == 1
+            assert "to" in roles
+            for participant in message.participants:
+                assert "@" in participant.address
+
+    def test_name_change_respected_in_time(self):
+        config = WorldConfig(
+            n_persons=10, n_papers=3, owner_changes_name=True
+        )
+        world = build_world(config, random.Random(15))
+        messages = generate_messages(
+            world, EmailCorpusConfig(n_messages=200, missing_display_rate=0.0,
+                                     nickname_rate=0.0, typo_rate=0.0),
+            random.Random(17),
+        )
+        old_surname = world.owner.former_name.surname
+        new_surname = world.owner.name.surname
+        for message in messages:
+            for participant in message.participants:
+                if participant.entity_id != world.owner_id:
+                    continue
+                display = (participant.display_name or "").lower()
+                if message.time < 0.75 and old_surname in display:
+                    assert new_surname not in display
+                if message.time >= 0.85 and new_surname in display:
+                    assert old_surname not in display
+
+    def test_bib_entries_reference_world(self, world):
+        entries = generate_bib_entries(
+            world, BibCorpusConfig(n_files=3), random.Random(19)
+        )
+        assert entries
+        for entry in entries:
+            assert entry.paper_id in world.papers
+            assert entry.venue_id in world.venues
+            assert len(entry.author_names) == len(entry.author_ids)
+            assert entry.author_names
+        # The same paper appears in several files (the reconciliation
+        # opportunity).
+        papers_seen = [entry.paper_id for entry in entries]
+        assert len(set(papers_seen)) < len(papers_seen)

@@ -1,0 +1,82 @@
+"""Tests for dataset serialisation round-trips."""
+
+import json
+
+import pytest
+
+from repro.core import Reference
+from repro.datasets.io import (
+    load_dataset,
+    reference_from_dict,
+    reference_to_dict,
+    save_dataset,
+    schema_from_dict,
+    schema_to_dict,
+)
+from repro.domains import CORA_SCHEMA, PIM_SCHEMA
+
+
+class TestSchemaRoundTrip:
+    @pytest.mark.parametrize("schema", [PIM_SCHEMA, CORA_SCHEMA])
+    def test_round_trip(self, schema):
+        restored = schema_from_dict(schema_to_dict(schema))
+        assert restored.class_names == schema.class_names
+        for schema_class in schema:
+            restored_class = restored.cls(schema_class.name)
+            assert restored_class.attributes == schema_class.attributes
+
+
+class TestReferenceRoundTrip:
+    def test_round_trip(self):
+        reference = Reference(
+            "r1",
+            "Person",
+            {"name": ("A", "B"), "coAuthor": ("r2",)},
+            source="email",
+        )
+        restored = reference_from_dict(reference_to_dict(reference))
+        assert restored == reference
+
+    def test_json_serialisable(self):
+        reference = Reference("r1", "Person", {"name": ("Ann",)})
+        json.dumps(reference_to_dict(reference))
+
+
+class TestDatasetRoundTrip:
+    def test_save_and_load(self, tiny_pim_a, tmp_path):
+        save_dataset(tiny_pim_a, tmp_path / "ds")
+        restored = load_dataset(tmp_path / "ds")
+        assert restored.name == tiny_pim_a.name
+        assert len(restored.store) == len(tiny_pim_a.store)
+        assert restored.gold.entity_of == tiny_pim_a.gold.entity_of
+        assert restored.gold.source_of == tiny_pim_a.gold.source_of
+        # Values preserved exactly.
+        for reference in tiny_pim_a.store:
+            assert restored.store.get(reference.ref_id).values == reference.values
+
+    def test_gold_optional(self, tmp_path, example1_store):
+        from repro.datasets import Dataset
+        from repro.datasets.gold import GoldStandard
+
+        dataset = Dataset(name="X", store=example1_store, gold=GoldStandard())
+        save_dataset(dataset, tmp_path / "nogold")
+        assert not (tmp_path / "nogold" / "gold.jsonl").exists()
+        restored = load_dataset(tmp_path / "nogold")
+        assert not restored.gold.entity_of
+        assert len(restored.store) == len(example1_store)
+
+    def test_reconciles_after_round_trip(self, tmp_path, example1_store):
+        from repro.core import EngineConfig, Reconciler
+        from repro.datasets import Dataset
+        from repro.datasets.gold import GoldStandard
+        from repro.domains import PimDomainModel
+
+        dataset = Dataset(name="X", store=example1_store, gold=GoldStandard())
+        save_dataset(dataset, tmp_path / "ex1")
+        restored = load_dataset(tmp_path / "ex1")
+        result = Reconciler(restored.store, PimDomainModel(), EngineConfig()).run()
+        assert result.clusters("Person") == [
+            ["p1", "p4"],
+            ["p2", "p5", "p8", "p9"],
+            ["p3", "p6", "p7"],
+        ]

@@ -1,0 +1,140 @@
+"""Property-based engine tests over random micro-worlds.
+
+Hypothesis generates small person/article reference sets; the engine
+must uphold its invariants on every one of them: each reference lands
+in exactly one partition, results are deterministic and queue-order
+independent, enemies never share a cluster, and adding evidence can
+only merge more (monotonicity at the system level).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EngineConfig, Reconciler, Reference, ReferenceStore
+from repro.core.nodes import NodeStatus
+from repro.datasets.generator.names import NamePool, format_name
+from repro.domains import PimDomainModel
+
+_STYLES = ("first_last", "last_comma_initials", "initial_last", "nickname", "first_only")
+_DOMAINS = ("x.edu", "y.org", "mail.com")
+
+
+@st.composite
+def micro_worlds(draw):
+    """A handful of entities, each rendered as 2-5 references."""
+    seed = draw(st.integers(0, 2**20))
+    rng = random.Random(seed)
+    n_entities = draw(st.integers(1, 5))
+    pool = NamePool(rng, homonym_rate=0.0)
+    references: list[Reference] = []
+    gold: dict[str, str] = {}
+    counter = 0
+    for entity_index in range(n_entities):
+        name = pool.draw()
+        email = f"{name.given}.{name.surname}@{rng.choice(_DOMAINS)}"
+        n_refs = draw(st.integers(2, 4))
+        for _ in range(n_refs):
+            values = {}
+            if rng.random() < 0.8:
+                values["name"] = (format_name(name, rng.choice(_STYLES)),)
+            if rng.random() < 0.6:
+                values["email"] = (email,)
+            if not values:
+                values["name"] = (format_name(name, "first_last"),)
+            ref_id = f"r{counter:03d}"
+            counter += 1
+            references.append(Reference(ref_id, "Person", values))
+            gold[ref_id] = f"e{entity_index}"
+    return references, gold
+
+
+def _run(references, config=None):
+    domain = PimDomainModel()
+    store = ReferenceStore(domain.schema, references)
+    reconciler = Reconciler(store, domain, config or EngineConfig())
+    return reconciler, reconciler.run()
+
+
+class TestEngineProperties:
+    @given(micro_worlds())
+    @settings(max_examples=25, deadline=None)
+    def test_partition_is_exact_cover(self, world):
+        references, _ = world
+        _, result = _run(references)
+        seen = [ref for cluster in result.clusters("Person") for ref in cluster]
+        assert sorted(seen) == sorted(ref.ref_id for ref in references)
+
+    @given(micro_worlds())
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, world):
+        references, _ = world
+        _, first = _run(references)
+        _, second = _run(references)
+        assert first.partitions == second.partitions
+
+    @given(micro_worlds())
+    @settings(max_examples=15, deadline=None)
+    def test_queue_order_independent(self, world):
+        references, _ = world
+        _, front = _run(references, EngineConfig(strong_to_front=True))
+        _, fifo = _run(references, EngineConfig(strong_to_front=False))
+        assert front.partitions == fifo.partitions
+
+    @given(micro_worlds())
+    @settings(max_examples=15, deadline=None)
+    def test_statuses_consistent_with_partition(self, world):
+        references, _ = world
+        reconciler, _ = _run(references)
+        for node in reconciler.graph.nodes():
+            if node.status is NodeStatus.MERGED:
+                assert reconciler.uf.connected(node.left, node.right)
+            elif node.status is NodeStatus.NON_MERGE:
+                assert not reconciler.uf.connected(node.left, node.right)
+
+    @given(micro_worlds())
+    @settings(max_examples=15, deadline=None)
+    def test_more_evidence_never_splits(self, world):
+        """System-level monotonicity: enabling the cross channel can
+        only merge more pairs, never fewer (constraints held fixed)."""
+        references, _ = world
+        _, without = _run(
+            references,
+            EngineConfig(
+                disabled_channels=frozenset({"name_email"}), constraints=False
+            ),
+        )
+        _, with_cross = _run(references, EngineConfig(constraints=False))
+        merged_without = {
+            pair
+            for cluster in without.clusters("Person")
+            for pair in _pairs(cluster)
+        }
+        merged_with = {
+            pair
+            for cluster in with_cross.clusters("Person")
+            for pair in _pairs(cluster)
+        }
+        assert merged_without <= merged_with
+
+    @given(micro_worlds())
+    @settings(max_examples=15, deadline=None)
+    def test_same_email_always_merges(self, world):
+        references, _ = world
+        _, result = _run(references)
+        by_email: dict[str, list[str]] = {}
+        for reference in references:
+            for email in reference.get("email"):
+                by_email.setdefault(email, []).append(reference.ref_id)
+        for refs in by_email.values():
+            for other in refs[1:]:
+                assert result.same_entity(refs[0], other)
+
+
+def _pairs(cluster):
+    return {
+        (cluster[i], cluster[j])
+        for i in range(len(cluster))
+        for j in range(i + 1, len(cluster))
+    }

@@ -1,0 +1,51 @@
+"""Tests for the nickname knowledge base."""
+
+from repro.similarity.nicknames import (
+    KNOWN_GIVEN_NAMES,
+    NICKNAMES,
+    all_name_forms,
+    canonical_given_names,
+    share_canonical_given_name,
+)
+
+
+class TestCanonical:
+    def test_nickname_maps_to_formal(self):
+        assert "michael" in canonical_given_names("mike")
+        assert "deborah" in canonical_given_names("deb")
+
+    def test_formal_maps_to_itself(self):
+        assert canonical_given_names("michael") == {"michael"}
+
+    def test_nickname_keeps_itself(self):
+        assert "mike" in canonical_given_names("mike")
+
+
+class TestSharing:
+    def test_share(self):
+        assert share_canonical_given_name("Mike", "Michael")
+        assert share_canonical_given_name("kathy", "katherine")
+        assert share_canonical_given_name("bill", "william")
+
+    def test_no_share(self):
+        assert not share_canonical_given_name("mike", "matt")
+        assert not share_canonical_given_name("deborah", "dorothy")
+
+    def test_two_nicknames_of_one_formal(self):
+        assert share_canonical_given_name("bill", "will")
+
+
+class TestAllForms:
+    def test_round_trip(self):
+        forms = all_name_forms("deborah")
+        assert "deb" in forms and "debbie" in forms
+
+    def test_from_nickname(self):
+        forms = all_name_forms("deb")
+        assert "deborah" in forms
+
+    def test_known_names_cover_table(self):
+        for nickname, formals in NICKNAMES.items():
+            assert nickname in KNOWN_GIVEN_NAMES
+            for formal in formals:
+                assert formal in KNOWN_GIVEN_NAMES

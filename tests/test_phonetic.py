@@ -1,0 +1,77 @@
+"""Tests for Soundex and Metaphone."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.phonetic import metaphone, phonetic_similarity, soundex
+
+
+class TestSoundex:
+    @pytest.mark.parametrize(
+        "word,code",
+        [
+            ("Robert", "R163"),
+            ("Rupert", "R163"),
+            ("Ashcraft", "A261"),
+            ("Ashcroft", "A261"),
+            ("Tymczak", "T522"),
+            ("Pfister", "P236"),
+            ("Honeyman", "H555"),
+        ],
+    )
+    def test_reference_codes(self, word, code):
+        assert soundex(word) == code
+
+    def test_empty_and_nonalpha(self):
+        assert soundex("") == ""
+        assert soundex("123") == ""
+
+    def test_typo_stability(self):
+        assert soundex("stonebraker") == soundex("stonebracker")
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=12))
+    @settings(max_examples=60)
+    def test_format(self, word):
+        code = soundex(word)
+        assert len(code) == 4
+        assert code[0].isalpha() and code[0].isupper()
+        assert all(ch.isdigit() for ch in code[1:])
+
+
+class TestMetaphone:
+    def test_stability_under_typos(self):
+        assert metaphone("Stonebraker") == metaphone("Stonebracker")
+        assert metaphone("Catherine") == metaphone("Katherine")
+
+    def test_distinguishes(self):
+        assert metaphone("Stonebraker") != metaphone("Wong")
+
+    def test_prefix_rules(self):
+        assert metaphone("Knight") == metaphone("Night")
+        assert metaphone("Wright")[0] == "R"
+
+    def test_empty(self):
+        assert metaphone("") == ""
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", max_size=15))
+    @settings(max_examples=60)
+    def test_bounded_uppercase(self, word):
+        code = metaphone(word)
+        assert len(code) <= 6
+        assert code == code.upper()
+
+
+class TestPhoneticSimilarity:
+    def test_metaphone_agreement(self):
+        assert phonetic_similarity("Catherine", "Katherine") == 1.0
+
+    def test_soundex_only(self):
+        score = phonetic_similarity("Robert", "Rupert")
+        assert score in (0.7, 1.0)
+
+    def test_disagreement(self):
+        assert phonetic_similarity("Wong", "Epstein") == 0.0
+
+    def test_empty(self):
+        assert phonetic_similarity("", "x") == 0.0

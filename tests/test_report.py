@@ -1,0 +1,55 @@
+"""Tests for the one-shot reproduction report."""
+
+from repro.evaluation.report import build_report, shape_checklist, write_report
+
+
+class TestReport:
+    def test_build_report_structure(self):
+        report = build_report(scale=0.2)
+        assert "# Reproduction report" in report
+        assert "Shape checklist" in report
+        for table in ("Table 1", "Table 5", "Table 7", "Figure 6"):
+            assert f"## {table}" in report
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "report.md", scale=0.2)
+        assert path.exists()
+        assert "Table 4" in path.read_text()
+
+    def test_checklist_is_boolean(self):
+        report_checks = shape_checklist(
+            table2_rows=[
+                {"class": c, "InDepDec_f": 0.5, "DepGraph_f": 0.9,
+                 "InDepDec_recall": 0.5, "DepGraph_recall": 0.9,
+                 "InDepDec_precision": 0.9, "DepGraph_precision": 0.9}
+                for c in ("Person", "Article", "Venue")
+            ],
+            table3_rows=[
+                {"dataset": d, "InDepDec_recall": 0.5, "DepGraph_recall": 0.9}
+                for d in ("Full", "PArticle", "PEmail")
+            ],
+            table4_rows=[
+                {"dataset": d, "InDepDec_partitions": 10, "DepGraph_partitions": 8,
+                 "DepGraph_recall": 0.9}
+                for d in "ABCD"
+            ],
+            grid={"cells": {(m, e): 10 for m in
+                            ("Traditional", "Propagation", "Merge", "Full")
+                            for e in ("Attr-wise", "Name&Email", "Article", "Contact")}},
+            table6_rows=[
+                {"method": "DepGraph", "precision": 0.99,
+                 "entities_with_false_positives": 1},
+                {"method": "Non-Constraint", "precision": 0.9,
+                 "entities_with_false_positives": 5},
+            ],
+            table7_rows=[
+                {"class": c, "InDepDec_f": 0.5, "DepGraph_f": 0.9,
+                 "InDepDec_recall": 0.3, "DepGraph_recall": 0.9,
+                 "InDepDec_precision": 0.99, "DepGraph_precision": 0.8}
+                for c in ("Person", "Article", "Venue")
+            ],
+        )
+        assert len(report_checks) == 10
+        for claim, ok in report_checks:
+            assert isinstance(claim, str)
+            assert isinstance(ok, bool)

@@ -1,0 +1,137 @@
+"""Tests for TF-IDF corpus weighting and weight learning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.corpus import TfIdfCorpus
+from repro.similarity.learning import (
+    LabeledPair,
+    PerceptronWeightLearner,
+    fit_least_squares,
+    project_to_simplex,
+)
+
+
+class TestTfIdfCorpus:
+    def test_rare_tokens_weigh_more(self):
+        corpus = TfIdfCorpus(
+            ["data systems"] * 20 + ["stonebraker ingres"]
+        )
+        assert corpus.idf("stonebraker") > corpus.idf("data")
+
+    def test_cosine_identical(self):
+        corpus = TfIdfCorpus(["a b c", "b c d"])
+        assert corpus.cosine("a b c", "a b c") == pytest.approx(1.0)
+
+    def test_cosine_disjoint(self):
+        corpus = TfIdfCorpus(["a b", "c d"])
+        assert corpus.cosine("a b", "c d") == 0.0
+
+    def test_rare_overlap_beats_common_overlap(self):
+        documents = ["query processing systems"] * 30 + ["ingres postgres"]
+        corpus = TfIdfCorpus(documents)
+        rare = corpus.cosine("ingres query", "ingres processing")
+        common = corpus.cosine("systems query", "systems processing")
+        assert rare > common
+
+    def test_soft_cosine_tolerates_typos(self):
+        corpus = TfIdfCorpus(["stonebraker ingres", "query systems"])
+        hard = corpus.cosine("stonebraker ingres", "stonbraker ingres")
+        soft = corpus.soft_cosine("stonebraker ingres", "stonbraker ingres")
+        assert soft > hard
+
+    def test_empty_corpus_degrades_gracefully(self):
+        corpus = TfIdfCorpus()
+        assert corpus.cosine("a b", "a b") == pytest.approx(1.0)
+
+    def test_incremental_add(self):
+        corpus = TfIdfCorpus()
+        assert len(corpus) == 0
+        corpus.add("data systems")
+        corpus.add("")  # ignored
+        assert len(corpus) == 1
+
+    @given(st.lists(st.text(alphabet="abc ", max_size=8), max_size=6))
+    @settings(max_examples=25)
+    def test_cosine_bounds(self, documents):
+        corpus = TfIdfCorpus(documents)
+        for left in documents:
+            for right in documents:
+                assert 0.0 <= corpus.cosine(left, right) <= 1.0 + 1e-9
+
+
+class TestSimplexProjection:
+    def test_already_feasible(self):
+        weights = np.array([0.2, 0.3])
+        assert np.allclose(project_to_simplex(weights), weights)
+
+    def test_clips_negative(self):
+        projected = project_to_simplex(np.array([-1.0, 0.5]))
+        assert projected[0] == 0.0
+
+    def test_projects_to_sum_one(self):
+        projected = project_to_simplex(np.array([3.0, 1.0]))
+        assert projected.sum() == pytest.approx(1.0)
+        assert projected[0] > projected[1]
+
+    @given(st.lists(st.floats(-5, 5), min_size=1, max_size=6))
+    @settings(max_examples=50)
+    def test_feasibility(self, raw):
+        projected = project_to_simplex(np.array(raw))
+        assert (projected >= -1e-12).all()
+        assert projected.sum() <= 1.0 + 1e-9
+
+
+def _separable_pairs():
+    """Matches have high channel-0 evidence, non-matches low."""
+    pairs = []
+    for value in (0.9, 0.95, 1.0, 0.85):
+        pairs.append(LabeledPair((value, 0.2), True))
+    for value in (0.1, 0.2, 0.0, 0.3):
+        pairs.append(LabeledPair((value, 0.25), False))
+    return pairs
+
+
+class TestLeastSquares:
+    def test_learns_discriminative_weight(self):
+        weights = fit_least_squares(_separable_pairs())
+        assert weights[0] > weights[1]
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            fit_least_squares([])
+        with pytest.raises(ValueError):
+            fit_least_squares(
+                [LabeledPair((1.0,), True), LabeledPair((1.0, 0.5), False)]
+            )
+
+    def test_weights_feasible(self):
+        weights = fit_least_squares(_separable_pairs())
+        assert all(weight >= 0 for weight in weights)
+        assert sum(weights) <= 1.0 + 1e-9
+
+
+class TestPerceptron:
+    def test_separates(self):
+        learner = PerceptronWeightLearner(2)
+        weights = learner.fit(_separable_pairs(), epochs=30)
+        matches = [learner.score(pair.features) for pair in _separable_pairs() if pair.is_match]
+        non_matches = [
+            learner.score(pair.features) for pair in _separable_pairs() if not pair.is_match
+        ]
+        assert min(matches) > max(non_matches)
+        assert all(weight >= 0 for weight in weights)
+
+    def test_update_reports_movement(self):
+        learner = PerceptronWeightLearner(2)
+        moved = learner.update(LabeledPair((1.0, 0.0), True))
+        assert isinstance(moved, bool)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            PerceptronWeightLearner(0)
+        learner = PerceptronWeightLearner(2)
+        with pytest.raises(ValueError):
+            learner.update(LabeledPair((1.0,), True))

@@ -1,0 +1,72 @@
+"""Tests for the cross-attribute name-vs-email channel (§2.2)."""
+
+import pytest
+
+from repro.similarity.name_email import name_email_similarity
+
+
+class TestSurnameAccounts:
+    def test_surname_account_is_strong(self):
+        score = name_email_similarity("Stonebraker, M.", "stonebraker@csail.mit.edu")
+        assert score == pytest.approx(0.9)
+
+    def test_full_given_plus_surname_is_decisive(self):
+        assert (
+            name_email_similarity("Michael Stonebraker", "michael.stonebraker@mit.edu")
+            == 1.0
+        )
+        assert (
+            name_email_similarity("Michael Stonebraker", "michaelstonebraker@mit.edu")
+            == 1.0
+        )
+
+    def test_initial_plus_surname_is_strong_not_decisive(self):
+        # "xfeng" could be Xin Feng or Xiaoming Feng.
+        score = name_email_similarity("Xin Feng", "xfeng@gmail.com")
+        assert 0.85 <= score <= 0.9
+
+    def test_initial_only_given_never_scores_full(self):
+        # The name has only an initial: the account cannot confirm more
+        # than initial+surname.
+        score = name_email_similarity("X. Feng", "xfeng@gmail.com")
+        assert score < 1.0
+
+    def test_separated_initial(self):
+        score = name_email_similarity("Michael Stonebraker", "m.stonebraker@mit.edu")
+        assert score >= 0.9
+
+
+class TestGivenNameAccounts:
+    def test_given_only_match_is_weak(self):
+        score = name_email_similarity("Eugene Wong", "eugene@berkeley.edu")
+        assert 0.4 <= score < 0.7
+
+    def test_nickname_account(self):
+        score = name_email_similarity("Michael Stonebraker", "mike@gmail.com")
+        assert 0.4 <= score < 0.7
+
+    def test_single_letter_prefix_rejected(self):
+        # 'deborah' must not count as encoding the initial "D.".
+        score = name_email_similarity("Parker, D.", "deborah_parker@bell-labs.com")
+        assert score <= 0.9
+
+
+class TestNegative:
+    def test_unrelated(self):
+        assert name_email_similarity("Eugene Wong", "stonebraker@csail.mit.edu") == 0.0
+
+    def test_mononym_vs_unrelated_account(self):
+        assert name_email_similarity("mike", "stonebraker@csail.mit.edu") == 0.0
+
+    def test_invalid_email(self):
+        assert name_email_similarity("Eugene Wong", "not-an-email") == 0.0
+
+    def test_empty_name(self):
+        assert name_email_similarity("", "a@b.com") == 0.0
+
+    def test_range(self):
+        names = ["Stonebraker, M.", "mike", "Eugene Wong", "Xin Feng"]
+        emails = ["stonebraker@mit.edu", "xfeng@gmail.com", "eugene@berkeley.edu"]
+        for name in names:
+            for email in emails:
+                assert 0.0 <= name_email_similarity(name, email) <= 1.0

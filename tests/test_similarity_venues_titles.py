@@ -1,0 +1,138 @@
+"""Tests for venue, title, pages and year similarity."""
+
+import pytest
+
+from repro.similarity.titles import pages_similarity, title_similarity, year_similarity
+from repro.similarity.venues import expand_venue_tokens, venue_name_similarity
+
+MERGE_LINE = 0.85 / 0.9  # venue profile: 0.9 * name >= 0.85
+
+
+class TestVenueNames:
+    def test_identical(self):
+        assert venue_name_similarity("SIGMOD", "sigmod") == 1.0
+
+    def test_shared_acronym_token(self):
+        assert venue_name_similarity("ACM SIGMOD", "Proceedings of SIGMOD") >= MERGE_LINE
+
+    def test_known_acronym_expansion(self):
+        score = venue_name_similarity(
+            "ACM Conference on Management of Data", "ACM SIGMOD"
+        )
+        assert score >= 0.75
+
+    def test_derivable_acronym(self):
+        score = venue_name_similarity("Very Large Data Bases", "VLDB")
+        assert score >= 0.85
+
+    def test_different_known_acronyms_capped(self):
+        assert venue_name_similarity("SIGMOD", "VLDB") <= 0.2
+        assert venue_name_similarity("ICDE", "ICML") <= 0.2
+
+    def test_topical_containment_not_decisive(self):
+        # The "Machine Learning" journal is contained in ICML's name.
+        score = venue_name_similarity(
+            "Machine Learning", "International Conference on Machine Learning"
+        )
+        assert score < MERGE_LINE
+
+    def test_superset_workshop_not_decisive(self):
+        score = venue_name_similarity(
+            "International Conference on Knowledge Discovery and Data Mining",
+            "Workshop on Research Issues in Data Mining and Knowledge Discovery",
+        )
+        assert score < MERGE_LINE
+
+    def test_transactions_distinguish_journals(self):
+        score = venue_name_similarity(
+            "ACM Transactions on Database Systems",
+            "Symposium on Principles of Database Systems",
+        )
+        assert score < MERGE_LINE
+
+    def test_empty(self):
+        assert venue_name_similarity("", "SIGMOD") == 0.0
+
+    def test_symmetry(self):
+        pairs = [
+            ("ACM SIGMOD", "Proceedings of SIGMOD"),
+            ("VLDB", "Very Large Data Bases"),
+            ("TODS", "PODS"),
+        ]
+        for left, right in pairs:
+            assert venue_name_similarity(left, right) == pytest.approx(
+                venue_name_similarity(right, left)
+            )
+
+
+class TestExpandVenueTokens:
+    def test_expansion(self):
+        tokens = expand_venue_tokens("ACM SIGMOD")
+        assert "management" in tokens and "data" in tokens
+
+    def test_digits_dropped(self):
+        assert "1997" not in expand_venue_tokens("PAMI 1997")
+
+    def test_boilerplate_dropped(self):
+        tokens = expand_venue_tokens("Proceedings of the International Conference on Data Engineering")
+        assert "proceedings" not in tokens
+        assert "international" not in tokens
+        assert "data" in tokens
+
+    def test_transactions_kept(self):
+        assert "transactions" in expand_venue_tokens("ACM Transactions on Database Systems")
+
+
+class TestTitles:
+    def test_equal(self):
+        assert title_similarity("Query Processing", "query processing") == 1.0
+
+    def test_word_variant(self):
+        score = title_similarity(
+            "Distributed query processing in a relational data base system",
+            "Distributed query processing in a relational database system",
+        )
+        assert score > 0.9
+
+    def test_unrelated(self):
+        assert title_similarity("Deep learning", "Buffer pool management") < 0.4
+
+    def test_empty(self):
+        assert title_similarity("", "x") == 0.0
+
+
+class TestPages:
+    def test_equal_ranges(self):
+        assert pages_similarity("169-180", "169--180") == 1.0
+        assert pages_similarity("169-180", "pp. 169-180") == 1.0
+
+    def test_start_page_only(self):
+        assert pages_similarity("169", "169-180") == pytest.approx(0.9)
+
+    def test_overlap(self):
+        assert pages_similarity("169-180", "170-181") == pytest.approx(0.6)
+
+    def test_disjoint(self):
+        assert pages_similarity("1-10", "100-110") == 0.0
+
+    def test_unparsable(self):
+        assert pages_similarity("n/a", "n/a") == 1.0
+        assert pages_similarity("n/a", "169-180") == 0.0
+
+
+class TestYears:
+    def test_equal(self):
+        assert year_similarity("1998", "1998") == 1.0
+
+    def test_adjacent(self):
+        assert year_similarity("1998", "1999") == 0.5
+
+    def test_two_digit(self):
+        assert year_similarity("98", "1998") == 1.0
+        assert year_similarity("04", "2004") == 1.0
+
+    def test_distant(self):
+        assert year_similarity("1990", "2000") == 0.0
+
+    def test_missing(self):
+        assert year_similarity("", "1998") == 0.0
