@@ -65,6 +65,35 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--algorithm", choices=["depgraph", "indepdec"],
                           default="depgraph")
 
+    for runner in (reconcile, evaluate):
+        runtime = runner.add_argument_group("runtime (fault tolerance)")
+        runtime.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="wall-clock budget; past it the run stops gracefully with "
+            "a partial (but valid) partition",
+        )
+        runtime.add_argument(
+            "--max-recomputations", type=int, default=None, metavar="N",
+            help="recomputation budget enforced by the run guard",
+        )
+        runtime.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="periodically checkpoint engine state into DIR",
+        )
+        runtime.add_argument(
+            "--checkpoint-every", type=int, default=500, metavar="STEPS",
+            help="iterate steps between checkpoints (default 500)",
+        )
+        runtime.add_argument(
+            "--resume", default=None, metavar="CHECKPOINT",
+            help="resume from a checkpoint file written by --checkpoint-dir",
+        )
+        runtime.add_argument(
+            "--lenient", action="store_true",
+            help="quarantine malformed records to quarantine.jsonl instead "
+            "of aborting the load",
+        )
+
     tables = commands.add_parser("tables", help="regenerate a paper table")
     tables.add_argument(
         "which",
@@ -99,16 +128,51 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _run(directory: str, algorithm: str):
-    dataset = load_dataset(directory)
+def _run(directory: str, algorithm: str, options=None):
+    lenient = bool(getattr(options, "lenient", False))
+    dataset = load_dataset(directory, lenient=lenient)
+    if dataset.quarantined:
+        print(
+            f"quarantined {len(dataset.quarantined)} bad records "
+            f"(see quarantine.jsonl)",
+            file=sys.stderr,
+        )
     domain = _domain_for(dataset.name)
-    reconciler = Reconciler(dataset.store, domain, _config_for(algorithm, domain))
-    result = reconciler.run()
+    config = _config_for(algorithm, domain)
+    guard = None
+    checkpointer = None
+    if options is not None:
+        deadline = getattr(options, "deadline", None)
+        max_recomputations = getattr(options, "max_recomputations", None)
+        if deadline is not None or max_recomputations is not None:
+            from .runtime import RunGuard
+
+            guard = RunGuard(
+                deadline_seconds=deadline, max_recomputations=max_recomputations
+            )
+        if getattr(options, "checkpoint_dir", None):
+            from .runtime import Checkpointer
+
+            checkpointer = Checkpointer(
+                options.checkpoint_dir, every=options.checkpoint_every
+            )
+    resume_path = getattr(options, "resume", None) if options is not None else None
+    if resume_path:
+        reconciler = Reconciler.resume(
+            resume_path, store=dataset.store, domain=domain, config=config
+        )
+    else:
+        reconciler = Reconciler(dataset.store, domain, config)
+    result = reconciler.run(guard=guard, checkpointer=checkpointer)
+    if not result.completed:
+        print(f"run degraded: stop_reason={result.stop_reason}", file=sys.stderr)
+        for event in result.degradations:
+            print(f"  [{event.kind}] {event.detail}", file=sys.stderr)
     return dataset, reconciler, result
 
 
 def _cmd_reconcile(args) -> int:
-    dataset, _, result = _run(args.directory, args.algorithm)
+    dataset, _, result = _run(args.directory, args.algorithm, args)
     payload = {
         class_name: result.clusters(class_name)
         for class_name in dataset.store.schema.class_names
@@ -124,7 +188,7 @@ def _cmd_reconcile(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
-    dataset, _, result = _run(args.directory, args.algorithm)
+    dataset, _, result = _run(args.directory, args.algorithm, args)
     if not dataset.gold.entity_of:
         print("dataset has no gold standard", file=sys.stderr)
         return 2

@@ -23,9 +23,12 @@ config changes, not separate code paths.
 from __future__ import annotations
 
 import time
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from ..runtime.errors import BudgetExceeded, DeadlineExceeded, GuardTripped, QueueEmpty
+from ..runtime.guards import DegradationEvent
 from .blocking import BlockingIndex
 from .graph import DependencyGraph
 from .model import DomainModel, EngineConfig
@@ -61,6 +64,9 @@ class EngineStats:
     iterate_seconds: float = 0.0
     skipped_weak_fanout: int = 0
     per_class_nodes: dict[str, int] = field(default_factory=dict)
+    #: structured trail of everything that degraded during the run
+    #: (guard trips, pruned weak fan-out, baseline fallbacks).
+    degradations: list[DegradationEvent] = field(default_factory=list)
 
 
 class Reconciler:
@@ -91,6 +97,8 @@ class Reconciler:
         self._block_indexes: dict[str, BlockingIndex] = {}
         self._per_class_nodes: dict[str, list[PairNode]] = {}
         self._built = False
+        #: why the last run stopped: "converged" or a degradation kind.
+        self.stop_reason = "converged"
 
     def enabled_atomic_channels(self, class_name: str):
         """The atomic channels active under the current config."""
@@ -190,6 +198,16 @@ class Reconciler:
             class_name: len(nodes) for class_name, nodes in per_class_nodes.items()
         }
         self.stats.build_seconds = time.perf_counter() - started
+        if self.stats.skipped_weak_fanout:
+            self.stats.degradations.append(
+                DegradationEvent(
+                    kind="weak_fanout",
+                    detail=(
+                        f"skipped {self.stats.skipped_weak_fanout} weak-edge "
+                        f"bundles over the {_MAX_WEAK_FANOUT} fan-out ceiling"
+                    ),
+                )
+            )
         self._built = True
 
     def _premerge_by_keys(self) -> None:
@@ -399,26 +417,111 @@ class Reconciler:
     # ------------------------------------------------------------------
     # iterate
     # ------------------------------------------------------------------
-    def run(self) -> ReconciliationResult:
-        """Execute the full algorithm and return the partition."""
+    def run(
+        self,
+        *,
+        guard=None,
+        checkpointer=None,
+        step_hook: Callable[["Reconciler", int], None] | None = None,
+        raise_on_trip: bool = False,
+    ) -> ReconciliationResult:
+        """Execute the full algorithm and return the partition.
+
+        ``guard`` is an optional :class:`~repro.runtime.guards.RunGuard`
+        checked once per iteration; a trip ends the run gracefully with
+        ``completed=False`` and the trip's reason, unless
+        ``raise_on_trip`` is set (the resilient wrapper catches the
+        typed exception instead). ``checkpointer`` (a
+        :class:`~repro.runtime.checkpoint.Checkpointer`) periodically
+        serialises the full engine state so a killed run can continue
+        via :meth:`resume`. ``step_hook`` is called with the engine and
+        the iterate-step index before each step — the fault-injection
+        seam; whatever it raises propagates (a simulated crash).
+        """
         if not self._built:
             self.build()
         started = time.perf_counter()
+        if guard is not None:
+            guard.start()
         budget = self.config.max_recomputations
+        self.stop_reason = "converged"
+        trip: GuardTripped | None = None
+        step = 0
+        if checkpointer is not None:
+            # Always leave at least one checkpoint behind, even if the
+            # run dies on its very first step.
+            checkpointer.maybe_save(self, 0)
         while self.queue:
             if budget is not None and self.stats.recomputations >= budget:
+                self.stop_reason = "budget"
+                self.stats.degradations.append(
+                    DegradationEvent(
+                        kind="budget",
+                        detail=(
+                            f"max_recomputations={budget} exhausted with "
+                            f"{len(self.queue)} nodes still queued"
+                        ),
+                        recomputations=self.stats.recomputations,
+                    )
+                )
                 break
-            key = self.queue.pop()
+            if guard is not None:
+                try:
+                    guard.check(
+                        recomputations=self.stats.recomputations,
+                        queue_size=len(self.queue),
+                        graph_nodes=len(self.graph),
+                    )
+                except (BudgetExceeded, DeadlineExceeded) as exc:
+                    self.stop_reason = exc.event.kind if exc.event else "guard"
+                    self.stats.degradations.append(exc.event)
+                    trip = exc
+                    break
+            if step_hook is not None:
+                step_hook(self, step)
+            try:
+                key = self.queue.pop()
+            except QueueEmpty:  # lazy-discard race: only stale keys left
+                break
             node = self.graph.get_key(key)
             if node is None or node.status is not NodeStatus.ACTIVE:
                 continue
             node.status = NodeStatus.INACTIVE
             self._process(node)
-        self.stats.iterate_seconds = time.perf_counter() - started
+            step += 1
+            if checkpointer is not None:
+                checkpointer.maybe_save(self, step)
+        self.stats.iterate_seconds += time.perf_counter() - started
         self.stats.queue_front_pushes = self.queue.pushed_front
         self.stats.queue_back_pushes = self.queue.pushed_back
         self.stats.fusions = self.graph.fusions
+        if trip is not None and raise_on_trip:
+            raise trip
         return self._result()
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | Path,
+        *,
+        store: ReferenceStore,
+        domain: DomainModel,
+        config: EngineConfig | None = None,
+    ) -> "Reconciler":
+        """Rebuild an engine from a checkpoint written during a run.
+
+        *store*, *domain* and *config* must match the original run (the
+        checkpoint carries a configuration fingerprint and refuses a
+        mismatch). Calling :meth:`run` on the returned engine continues
+        from the checkpointed step and — because iteration is
+        deterministic — converges to the same partition an
+        uninterrupted run would have produced.
+        """
+        from ..runtime.checkpoint import load_checkpoint, restore_engine
+
+        engine = cls(store, domain, config)
+        restore_engine(engine, load_checkpoint(path))
+        return engine
 
     def _process(self, node: PairNode) -> None:
         if self.uf.connected(node.left, node.right):
@@ -619,6 +722,17 @@ class Reconciler:
     # ------------------------------------------------------------------
     # result
     # ------------------------------------------------------------------
+    def partial_result(self) -> ReconciliationResult:
+        """Finalize whatever has been decided so far.
+
+        Every merge already taken is transitively closed by the
+        union-find, so the partial partition is a valid (if
+        conservative) answer; ``completed`` / ``stop_reason`` on the
+        result say how far the run got. Used by the resilient wrapper
+        after a guard trip.
+        """
+        return self._result()
+
     def _result(self) -> ReconciliationResult:
         clusters: dict[str, dict[str, list[str]]] = {
             class_name: {} for class_name in self.store.schema.class_names
@@ -635,5 +749,10 @@ class Reconciler:
             for class_name, groups in clusters.items()
         }
         return ReconciliationResult(
-            partitions=partitions, uf=self.uf, stats=self.stats
+            partitions=partitions,
+            uf=self.uf,
+            stats=self.stats,
+            completed=self.stop_reason == "converged",
+            stop_reason=self.stop_reason,
+            degradations=list(self.stats.degradations),
         )

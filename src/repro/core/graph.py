@@ -134,8 +134,12 @@ class DependencyGraph:
 
     # -- neighbour iteration ------------------------------------------------
     def _resolve_neighbours(self, keys: set[PairKey]) -> Iterator[PairNode]:
+        # Sorted so activation order — and with it the queue contents —
+        # is identical between a fresh run and one resumed from a
+        # checkpoint (sets rebuilt from a snapshot need not iterate in
+        # their original insertion order).
         seen: set[PairKey] = set()
-        for key in keys:
+        for key in sorted(keys):
             resolved = self.resolve(key)
             if resolved in seen:
                 continue
@@ -234,6 +238,100 @@ class DependencyGraph:
         del self._nodes[old_key]
         self._alias[old_key] = target.key
         self._by_element.setdefault(other, set()).discard(old_key)
+
+    # -- checkpointing -------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready structural snapshot of the whole graph.
+
+        Value nodes are serialised once (they are deduplicated by
+        registry key) and referenced from pair nodes by index; edge
+        sets become sorted key lists so the snapshot is byte-stable for
+        identical graphs.
+        """
+        value_keys = sorted(self._value_nodes)
+        value_index = {key: position for position, key in enumerate(value_keys)}
+        nodes = []
+        for key in sorted(self._nodes):
+            node = self._nodes[key]
+            nodes.append(
+                {
+                    "class": node.class_name,
+                    "left": node.left,
+                    "right": node.right,
+                    "score": node.score,
+                    "status": node.status.value,
+                    "recompute_count": node.recompute_count,
+                    "evidence": {
+                        channel: [
+                            value_index[
+                                (vnode.channel, vnode.left_value, vnode.right_value)
+                            ]
+                            for vnode in vnodes
+                        ]
+                        for channel, vnodes in sorted(node.value_evidence.items())
+                        if vnodes
+                    },
+                    "real_in": sorted(node.real_in),
+                    "strong_in": sorted(node.strong_in),
+                    "weak_in": sorted(node.weak_in),
+                    "real_out": sorted(node.real_out),
+                    "strong_out": sorted(node.strong_out),
+                    "weak_out": sorted(node.weak_out),
+                }
+            )
+        return {
+            "value_nodes": [
+                [key[0], key[1], key[2], self._value_nodes[key].score]
+                for key in value_keys
+            ],
+            "nodes": nodes,
+            "alias": sorted(
+                [list(old), list(new)] for old, new in self._alias.items()
+            ),
+            "pair_nodes_created": self.pair_nodes_created,
+            "value_nodes_created": self.value_nodes_created,
+            "fusions": self.fusions,
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "DependencyGraph":
+        graph = cls()
+        values: list[ValueNode] = []
+        for channel, left_value, right_value, score in data["value_nodes"]:
+            node = ValueNode(
+                channel=channel,
+                left_value=left_value,
+                right_value=right_value,
+                score=score,
+            )
+            graph._value_nodes[(channel, left_value, right_value)] = node
+            values.append(node)
+        for entry in data["nodes"]:
+            node = PairNode(
+                class_name=entry["class"],
+                left=entry["left"],
+                right=entry["right"],
+                score=entry["score"],
+                status=NodeStatus(entry["status"]),
+                recompute_count=entry["recompute_count"],
+            )
+            for channel, indices in entry["evidence"].items():
+                node.value_evidence[channel] = [values[i] for i in indices]
+            node.real_in = {tuple(k) for k in entry["real_in"]}
+            node.strong_in = {tuple(k) for k in entry["strong_in"]}
+            node.weak_in = {tuple(k) for k in entry["weak_in"]}
+            node.real_out = {tuple(k) for k in entry["real_out"]}
+            node.strong_out = {tuple(k) for k in entry["strong_out"]}
+            node.weak_out = {tuple(k) for k in entry["weak_out"]}
+            key = node.key
+            graph._nodes[key] = node
+            graph._by_element.setdefault(key[0], set()).add(key)
+            graph._by_element.setdefault(key[1], set()).add(key)
+        graph._alias = {tuple(old): tuple(new) for old, new in data["alias"]}
+        graph.pair_nodes_created = data["pair_nodes_created"]
+        graph.value_nodes_created = data["value_nodes_created"]
+        graph.fusions = data["fusions"]
+        return graph
 
     def drop_self_references(self, node: PairNode) -> None:
         """Remove edges that now point from *node* to itself (possible

@@ -134,3 +134,30 @@ class UnionFind:
             (candidate for candidate in self._parent if self.find(candidate) == root),
             key=repr,
         )
+
+    # -- checkpointing ---------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot of the partition and its constraints.
+
+        Only valid for string items (the engine's reference ids); the
+        generic Hashable case has no canonical serialisation.
+        """
+        return {
+            "parent": sorted([item, parent] for item, parent in self._parent.items()),
+            "size": sorted([item, size] for item, size in self._size.items()),
+            "enemies": sorted(
+                [item, sorted(enemies)]
+                for item, enemies in self._enemies.items()
+                if enemies
+            ),
+            "union_count": self.union_count,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "UnionFind":
+        uf = cls()
+        uf._parent = {item: parent for item, parent in state["parent"]}
+        uf._size = {item: size for item, size in state["size"]}
+        uf._enemies = {item: set(enemies) for item, enemies in state["enemies"]}
+        uf.union_count = state["union_count"]
+        return uf

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Iterable
 
+from ..runtime.errors import QueueEmpty
 from .nodes import PairKey
 
 __all__ = ["ActiveQueue"]
@@ -38,10 +39,12 @@ class ActiveQueue:
             self.push_back(key)
 
     def __len__(self) -> int:
-        return len(self._deque)
+        # Live keys only: stale deque entries left behind by
+        # :meth:`discard` don't count as pending work.
+        return len(self._members)
 
     def __bool__(self) -> bool:
-        return bool(self._deque)
+        return bool(self._members)
 
     def __contains__(self, key: PairKey) -> bool:
         return key in self._members
@@ -70,10 +73,21 @@ class ActiveQueue:
         return True
 
     def pop(self) -> PairKey:
-        """Dequeue from the front."""
-        key = self._deque.popleft()
-        self._members.discard(key)
-        return key
+        """Dequeue the first *live* key.
+
+        Stale entries — keys left in the deque by the lazy
+        :meth:`discard` — are dropped silently on the way; an exhausted
+        queue raises a typed :class:`~repro.runtime.errors.QueueEmpty`
+        rather than a bare ``IndexError``.
+        """
+        entries = self._deque
+        members = self._members
+        while entries:
+            key = entries.popleft()
+            if key in members:
+                members.discard(key)
+                return key
+        raise QueueEmpty("active queue has no live keys")
 
     def discard(self, key: PairKey) -> None:
         """Remove *key* wherever it sits (used when fusion deletes its
@@ -84,3 +98,25 @@ class ActiveQueue:
 
     def is_live(self, key: PairKey) -> bool:
         return key in self._members
+
+    # -- checkpointing ---------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot: live keys in pop order, plus counters."""
+        seen: set[PairKey] = set()
+        entries: list[list[str]] = []
+        for key in self._deque:
+            if key in self._members and key not in seen:
+                seen.add(key)
+                entries.append(list(key))
+        return {
+            "entries": entries,
+            "pushed_front": self.pushed_front,
+            "pushed_back": self.pushed_back,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "ActiveQueue":
+        queue = cls(tuple(entry) for entry in snapshot["entries"])
+        queue.pushed_front = snapshot["pushed_front"]
+        queue.pushed_back = snapshot["pushed_back"]
+        return queue

@@ -99,6 +99,24 @@ class ReferenceStore:
         self._by_id[reference.ref_id] = reference
         self._by_class[reference.class_name].append(reference)
 
+    def replace(self, reference: Reference) -> None:
+        """Swap in a repaired version of an already-stored reference.
+
+        Used by lenient ingestion to drop dangling association values;
+        the id and class must match the stored original.
+        """
+        existing = self._by_id.get(reference.ref_id)
+        if existing is None:
+            raise ValueError(f"unknown reference id {reference.ref_id!r}")
+        if existing.class_name != reference.class_name:
+            raise SchemaError(
+                f"cannot replace {reference.ref_id!r}: class changed from "
+                f"{existing.class_name!r} to {reference.class_name!r}"
+            )
+        self._by_id[reference.ref_id] = reference
+        bucket = self._by_class[reference.class_name]
+        bucket[bucket.index(existing)] = reference
+
     def get(self, ref_id: str) -> Reference:
         return self._by_id[ref_id]
 

@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from .partition import UnionFind
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.guards import DegradationEvent
     from .engine import EngineStats
 
 __all__ = ["ReconciliationResult"]
@@ -20,11 +21,26 @@ class ReconciliationResult:
     ``partitions`` maps class name to the list of clusters, each a
     sorted list of reference ids; the partitioning is the transitive
     closure of all merge decisions (honouring non-merge constraints).
+
+    ``completed`` distinguishes a converged fixpoint from a run that
+    was cut short; when it is ``False``, ``stop_reason`` says why
+    (``"budget"``, ``"deadline"``, ``"queue_ceiling"``,
+    ``"graph_ceiling"``) and ``degradations`` carries the structured
+    trail of everything that degraded on the way — a truncated run is
+    still a valid partition, just not the fixpoint one.
     """
 
     partitions: dict[str, list[list[str]]]
     uf: UnionFind
     stats: "EngineStats"
+    completed: bool = True
+    stop_reason: str = "converged"
+    degradations: list["DegradationEvent"] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when anything at all was cut short or pruned."""
+        return not self.completed or bool(self.degradations)
 
     def clusters(self, class_name: str) -> list[list[str]]:
         return self.partitions[class_name]

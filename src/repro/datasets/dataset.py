@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.references import ReferenceStore
 from .generator.world import World
@@ -19,6 +19,8 @@ class Dataset:
     store: ReferenceStore
     gold: GoldStandard
     world: World | None = None
+    #: records a lenient load set aside (QuarantinedRecord instances).
+    quarantined: list = field(default_factory=list)
 
     def summary(self) -> dict[str, float | int | str]:
         """The Table-1 row for this dataset."""

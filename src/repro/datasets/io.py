@@ -8,19 +8,31 @@ A dataset on disk is a directory of three files:
 
 so a reconciled corpus can be shipped, diffed and versioned without the
 generator. Loading validates against the embedded schema.
+
+Ingestion has two modes. **Strict** (the default) fails fast on the
+first malformed record with a typed
+:class:`~repro.runtime.errors.DataError` naming the file and line —
+no bare ``KeyError`` / ``JSONDecodeError`` escapes. **Lenient**
+(``lenient=True``) quarantines every bad record — unparseable line,
+schema violation, duplicate id, dangling association, orphan gold
+entry — to ``quarantine.jsonl`` next to the data, each with its file,
+line and reason, and completes the load with everything that survived.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from ..core.references import Reference, ReferenceStore
-from ..core.schema import Attribute, Schema, SchemaClass
+from ..core.schema import Attribute, Schema, SchemaClass, SchemaError
+from ..runtime.errors import DataError
 from .dataset import Dataset
 from .gold import GoldStandard
 
 __all__ = [
+    "QuarantinedRecord",
     "schema_to_dict",
     "schema_from_dict",
     "reference_to_dict",
@@ -28,6 +40,16 @@ __all__ = [
     "save_dataset",
     "load_dataset",
 ]
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One record set aside by a lenient load, with its provenance."""
+
+    path: str
+    line: int
+    reason: str
+    raw: str
 
 
 def schema_to_dict(schema: Schema) -> dict:
@@ -50,19 +72,22 @@ def schema_to_dict(schema: Schema) -> dict:
 
 
 def schema_from_dict(data: dict) -> Schema:
-    classes = []
-    for class_data in data["classes"]:
-        attributes = []
-        for attribute_data in class_data["attributes"]:
-            if attribute_data["kind"] == "atomic":
-                attributes.append(Attribute.atomic(attribute_data["name"]))
-            else:
-                attributes.append(
-                    Attribute.association(
-                        attribute_data["name"], target=attribute_data["target"]
+    try:
+        classes = []
+        for class_data in data["classes"]:
+            attributes = []
+            for attribute_data in class_data["attributes"]:
+                if attribute_data["kind"] == "atomic":
+                    attributes.append(Attribute.atomic(attribute_data["name"]))
+                else:
+                    attributes.append(
+                        Attribute.association(
+                            attribute_data["name"], target=attribute_data["target"]
+                        )
                     )
-                )
-        classes.append(SchemaClass(class_data["name"], attributes))
+            classes.append(SchemaClass(class_data["name"], attributes))
+    except (KeyError, TypeError) as exc:
+        raise DataError(f"malformed schema: {exc!r}") from exc
     return Schema(classes)
 
 
@@ -77,14 +102,54 @@ def reference_to_dict(reference: Reference) -> dict:
     }
 
 
-def reference_from_dict(data: dict) -> Reference:
+def reference_from_dict(data: dict, *, lenient: bool = False) -> Reference:
+    """Build a :class:`Reference` from a parsed JSON record.
+
+    Malformed records raise :class:`DataError` (never a bare
+    ``KeyError``). In lenient mode, shape defects that can be repaired
+    unambiguously are tolerated: a missing ``values`` object becomes
+    empty, and a bare string attribute value becomes a one-value list.
+    """
+    if not isinstance(data, dict):
+        raise DataError(
+            f"reference record must be an object, got {type(data).__name__}"
+        )
+    for field_name in ("id", "class"):
+        if field_name not in data:
+            raise DataError(f"reference record is missing key {field_name!r}")
+        if not isinstance(data[field_name], str):
+            raise DataError(f"reference {field_name!r} must be a string")
+    raw_values = data.get("values")
+    if raw_values is None:
+        if "values" in data or not lenient:
+            raise DataError(
+                "reference record is missing key 'values'"
+                if "values" not in data
+                else "reference 'values' must be an object"
+            )
+        raw_values = {}
+    if not isinstance(raw_values, dict):
+        raise DataError("reference 'values' must be an object of attribute -> list")
+    values: dict[str, tuple[str, ...]] = {}
+    for attribute, attr_values in raw_values.items():
+        if isinstance(attr_values, str):
+            if not lenient:
+                raise DataError(
+                    f"attribute {attribute!r} must hold a list of strings, "
+                    f"got a bare string"
+                )
+            attr_values = [attr_values]
+        if not isinstance(attr_values, (list, tuple)):
+            raise DataError(
+                f"attribute {attribute!r} must hold a list of strings, "
+                f"got {type(attr_values).__name__}"
+            )
+        values[attribute] = tuple(str(value) for value in attr_values)
     return Reference(
         ref_id=data["id"],
         class_name=data["class"],
-        values={
-            attribute: tuple(values) for attribute, values in data["values"].items()
-        },
-        source=data.get("source", ""),
+        values=values,
+        source=str(data.get("source", "")),
     )
 
 
@@ -118,26 +183,212 @@ def save_dataset(dataset: Dataset, directory: str | Path) -> Path:
     return path
 
 
-def load_dataset(directory: str | Path) -> Dataset:
-    """Load a dataset previously written by :func:`save_dataset`."""
-    path = Path(directory)
-    with open(path / "meta.json") as handle:
-        meta = json.load(handle)
-    schema = schema_from_dict(meta["schema"])
-    store = ReferenceStore(schema)
-    with open(path / "references.jsonl") as handle:
-        for line in handle:
-            if line.strip():
-                store.add(reference_from_dict(json.loads(line)))
-    store.validate()
-    gold = GoldStandard()
-    gold_path = path / "gold.jsonl"
-    if gold_path.exists():
-        with open(gold_path) as handle:
-            for line in handle:
-                if line.strip():
-                    entry = json.loads(line)
-                    gold.add(
-                        entry["id"], entry["entity"], entry["class"], entry["source"]
+class _Intake:
+    """Shared strict-raise / lenient-quarantine bookkeeping."""
+
+    def __init__(self, lenient: bool) -> None:
+        self.lenient = lenient
+        self.quarantined: list[QuarantinedRecord] = []
+
+    def reject(self, path: Path, line: int, reason: str, raw: str) -> None:
+        if not self.lenient:
+            raise DataError(reason, path=str(path), line=line)
+        self.quarantined.append(
+            QuarantinedRecord(
+                path=str(path), line=line, reason=reason, raw=raw.rstrip("\n")
+            )
+        )
+
+
+def _load_meta(path: Path) -> tuple[str, Schema]:
+    meta_path = path / "meta.json"
+    try:
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+    except FileNotFoundError as exc:
+        raise DataError("meta.json not found", path=str(meta_path)) from exc
+    except json.JSONDecodeError as exc:
+        raise DataError(
+            f"invalid JSON: {exc.msg}", path=str(meta_path), line=exc.lineno
+        ) from exc
+    try:
+        name = meta["name"]
+        schema = schema_from_dict(meta["schema"])
+    except KeyError as exc:
+        raise DataError(
+            f"meta.json is missing key {exc.args[0]!r}", path=str(meta_path)
+        ) from exc
+    except DataError as exc:
+        raise DataError(exc.reason, path=str(meta_path)) from exc
+    return name, schema
+
+
+def _parse_references(
+    ref_path: Path, intake: _Intake
+) -> list[tuple[int, Reference, str]]:
+    parsed: list[tuple[int, Reference, str]] = []
+    seen_ids: dict[str, int] = {}
+    with open(ref_path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                reference = reference_from_dict(record, lenient=intake.lenient)
+            except json.JSONDecodeError as exc:
+                intake.reject(ref_path, line_no, f"invalid JSON: {exc.msg}", line)
+                continue
+            except DataError as exc:
+                intake.reject(ref_path, line_no, exc.reason, line)
+                continue
+            first_line = seen_ids.get(reference.ref_id)
+            if first_line is not None:
+                intake.reject(
+                    ref_path,
+                    line_no,
+                    f"duplicate reference id {reference.ref_id!r} "
+                    f"(first seen on line {first_line})",
+                    line,
+                )
+                continue
+            seen_ids[reference.ref_id] = line_no
+            parsed.append((line_no, reference, line))
+    return parsed
+
+
+def _repair_associations(
+    store: ReferenceStore,
+    parsed: list[tuple[int, Reference, str]],
+    ref_path: Path,
+    intake: _Intake,
+) -> None:
+    """Validate association targets, with line-accurate errors.
+
+    Strict mode raises on the first dangling or mistyped target.
+    Lenient mode drops just the bad values (quarantining a note per
+    reference) and keeps the reference, so one quarantined contact
+    doesn't cascade into rejecting every message that mentions it.
+    """
+    for line_no, reference, raw in parsed:
+        if reference.ref_id not in store:
+            continue  # already quarantined at add time
+        schema_class = store.schema.cls(reference.class_name)
+        bad: list[str] = []
+        kept: dict[str, tuple[str, ...]] = dict(reference.values)
+        for attribute in schema_class.association_attributes:
+            targets = reference.get(attribute.name)
+            if not targets:
+                continue
+            good = []
+            for target_id in targets:
+                target = store.get(target_id) if target_id in store else None
+                if target is None:
+                    bad.append(
+                        f"{attribute.name} -> {target_id!r} (missing reference)"
                     )
-    return Dataset(name=meta["name"], store=store, gold=gold)
+                elif target.class_name != attribute.target:
+                    bad.append(
+                        f"{attribute.name} -> {target_id!r} (class "
+                        f"{target.class_name!r}, expected {attribute.target!r})"
+                    )
+                else:
+                    good.append(target_id)
+            kept[attribute.name] = tuple(good)
+        if not bad:
+            continue
+        reason = (
+            f"reference {reference.ref_id!r} has dangling associations: "
+            + "; ".join(bad)
+        )
+        if not intake.lenient:
+            raise DataError(reason, path=str(ref_path), line=line_no)
+        intake.reject(ref_path, line_no, reason, raw)
+        store.replace(
+            Reference(
+                ref_id=reference.ref_id,
+                class_name=reference.class_name,
+                values=kept,
+                source=reference.source,
+            )
+        )
+
+
+def _load_gold(
+    gold_path: Path, store: ReferenceStore, intake: _Intake
+) -> GoldStandard:
+    gold = GoldStandard()
+    if not gold_path.exists():
+        return gold
+    with open(gold_path) as handle:
+        for line_no, line in enumerate(handle, 1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                intake.reject(gold_path, line_no, f"invalid JSON: {exc.msg}", line)
+                continue
+            if not isinstance(entry, dict):
+                intake.reject(gold_path, line_no, "gold entry must be an object", line)
+                continue
+            missing = [key for key in ("id", "entity", "class", "source") if key not in entry]
+            if missing:
+                intake.reject(
+                    gold_path,
+                    line_no,
+                    f"gold entry is missing keys {missing}",
+                    line,
+                )
+                continue
+            if entry["id"] not in store:
+                intake.reject(
+                    gold_path,
+                    line_no,
+                    f"gold entry for unknown reference {entry['id']!r}",
+                    line,
+                )
+                continue
+            gold.add(entry["id"], entry["entity"], entry["class"], entry["source"])
+    return gold
+
+
+def load_dataset(
+    directory: str | Path,
+    *,
+    lenient: bool = False,
+    quarantine: str | Path = "quarantine.jsonl",
+) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`.
+
+    Strict mode (the default) raises :class:`DataError` — carrying the
+    offending file path and line number — on the first malformed
+    record. Lenient mode quarantines bad records to *quarantine*
+    (resolved relative to the dataset directory), finishes the load
+    with the good ones, and reports what was set aside on
+    ``Dataset.quarantined``.
+    """
+    path = Path(directory)
+    name, schema = _load_meta(path)
+    intake = _Intake(lenient)
+    ref_path = path / "references.jsonl"
+    try:
+        parsed = _parse_references(ref_path, intake)
+    except FileNotFoundError as exc:
+        raise DataError("references.jsonl not found", path=str(ref_path)) from exc
+    store = ReferenceStore(schema)
+    for line_no, reference, raw in parsed:
+        try:
+            store.add(reference)
+        except (SchemaError, ValueError) as exc:
+            intake.reject(ref_path, line_no, str(exc), raw)
+    _repair_associations(store, parsed, ref_path, intake)
+    store.validate()
+    gold = _load_gold(path / "gold.jsonl", store, intake)
+    if lenient and intake.quarantined:
+        quarantine_path = path / quarantine
+        with open(quarantine_path, "w") as handle:
+            for record in intake.quarantined:
+                handle.write(json.dumps(asdict(record)) + "\n")
+    return Dataset(
+        name=name, store=store, gold=gold, quarantined=list(intake.quarantined)
+    )

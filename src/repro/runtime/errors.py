@@ -1,0 +1,89 @@
+"""The runtime error taxonomy.
+
+Every failure mode the reconciliation runtime can surface is a typed
+:class:`ReproError` subclass, so callers can distinguish "the data is
+bad" (:class:`DataError`) from "the run hit a resource ceiling"
+(:class:`BudgetExceeded` / :class:`DeadlineExceeded`) from "a saved
+state is unusable" (:class:`CheckpointError`) — and handle each
+differently (fail fast, degrade gracefully, fall back to an older
+checkpoint). Bare ``KeyError`` / ``IndexError`` /
+``json.JSONDecodeError`` escapes from ``core/`` and ``datasets/`` are
+considered bugs.
+
+This module is deliberately import-free (stdlib only, no ``repro``
+imports): ``repro.core`` itself raises these types, so anything heavier
+would be a circular import.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DataError",
+    "QueueEmpty",
+    "GuardTripped",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "CheckpointError",
+    "InjectedFault",
+]
+
+
+class ReproError(Exception):
+    """Base class of every typed error raised by the runtime."""
+
+
+class DataError(ReproError):
+    """A record or file could not be parsed or validated.
+
+    Carries the offending file ``path`` and 1-based ``line`` number
+    whenever they are known, so a strict loader failure names exactly
+    the record that killed it.
+    """
+
+    def __init__(
+        self, reason: str, *, path: str | None = None, line: int | None = None
+    ) -> None:
+        self.reason = reason
+        self.path = str(path) if path is not None else None
+        self.line = line
+        location = ""
+        if self.path is not None:
+            location = self.path if line is None else f"{self.path}:{line}"
+            location += ": "
+        elif line is not None:
+            location = f"line {line}: "
+        super().__init__(location + reason)
+
+
+class QueueEmpty(ReproError):
+    """Popping an active queue that holds no live keys."""
+
+
+class GuardTripped(ReproError):
+    """A :class:`~repro.runtime.guards.RunGuard` limit was hit.
+
+    ``event`` holds the structured
+    :class:`~repro.runtime.guards.DegradationEvent` describing the trip.
+    """
+
+    def __init__(self, message: str, *, event=None) -> None:
+        super().__init__(message)
+        self.event = event
+
+
+class BudgetExceeded(GuardTripped):
+    """A work budget (recomputations, queue size, graph size) ran out."""
+
+
+class DeadlineExceeded(GuardTripped):
+    """The wall-clock deadline of the run passed."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or trusted (bad
+    checksum, wrong version, mismatched configuration)."""
+
+
+class InjectedFault(ReproError):
+    """A deliberate failure raised by the fault-injection harness."""

@@ -1,0 +1,93 @@
+"""Deterministic fault injection for exercising the recovery paths.
+
+Three injectors, all seeded so failures replay exactly:
+
+* :class:`CrashAtStep` — a ``step_hook`` for
+  :meth:`Reconciler.run` that raises :class:`InjectedFault` at a chosen
+  iterate step, simulating a mid-run crash (the checkpoint on disk is
+  whatever the checkpointer last wrote).
+* :func:`corrupt_checkpoint` — flips bytes of a checkpoint file in
+  place, so tests can prove :func:`load_checkpoint` refuses damaged
+  state with a :class:`CheckpointError` instead of resuming from garbage.
+* :func:`inject_malformed_lines` — corrupts a sample of a JSONL file's
+  lines (invalid JSON, missing keys, truncation), the input for the
+  strict-fails-fast / lenient-quarantines ingestion tests.
+
+Nothing here is imported by production code paths; it exists so the
+test suite (and the CI smoke job) can prove every recovery path works.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .errors import CheckpointError, InjectedFault
+
+__all__ = ["CrashAtStep", "corrupt_checkpoint", "inject_malformed_lines"]
+
+
+@dataclass
+class CrashAtStep:
+    """Step hook raising :class:`InjectedFault` at iterate step *step*.
+
+    Fires at most once, so the same instance can be left installed on a
+    resumed run to prove the resume survives.
+    """
+
+    step: int
+    fired: bool = field(default=False, init=False)
+
+    def __call__(self, engine, step: int) -> None:
+        if not self.fired and step >= self.step:
+            self.fired = True
+            raise InjectedFault(f"injected crash at iterate step {step}")
+
+
+def corrupt_checkpoint(path: str | Path, *, seed: int = 0, flips: int = 8) -> Path:
+    """Deterministically flip *flips* bytes of the file at *path*."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise CheckpointError(f"cannot corrupt empty checkpoint {path}")
+    rng = random.Random(seed)
+    for _ in range(max(1, flips)):
+        data[rng.randrange(len(data))] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return path
+
+
+def inject_malformed_lines(
+    path: str | Path, *, rate: float = 0.05, seed: int = 0
+) -> list[int]:
+    """Corrupt roughly *rate* of the JSONL lines at *path* in place.
+
+    Each corrupted line gets one of three deterministic defects:
+    truncation (invalid JSON), a dropped ``"id"`` key (schema
+    violation), or outright garbage. Returns the 1-based numbers of the
+    corrupted lines; at least one line is always corrupted.
+    """
+    path = Path(path)
+    rng = random.Random(seed)
+    lines = path.read_text().splitlines()
+    candidates = [i for i, line in enumerate(lines) if line.strip()]
+    if not candidates:
+        return []
+    chosen = [i for i in candidates if rng.random() < rate]
+    if not chosen:
+        chosen = [rng.choice(candidates)]
+    for index in chosen:
+        line = lines[index]
+        mode = rng.choice(("truncate", "drop_id", "garbage"))
+        if mode == "truncate":
+            lines[index] = line[: max(1, len(line) // 2)]
+        elif mode == "drop_id":
+            record = json.loads(line)
+            record.pop("id", None)
+            lines[index] = json.dumps(record)
+        else:
+            lines[index] = "%% not json %%"
+    path.write_text("\n".join(lines) + "\n")
+    return [index + 1 for index in chosen]

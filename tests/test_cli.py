@@ -84,3 +84,52 @@ class TestCommands:
         code = main(["tables", "fig6", "--scale", "0.2"])
         assert code == 0
         assert "Figure 6" in capsys.readouterr().out
+
+
+class TestRuntimeFlags:
+    def test_deadline_degrades_gracefully(self, dataset_dir, capsys):
+        code = main(["evaluate", str(dataset_dir), "--deadline", "0"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "pairwise" in captured.out
+        assert "run degraded: stop_reason=deadline" in captured.err
+
+    def test_max_recomputations_flag(self, dataset_dir, capsys):
+        code = main(["evaluate", str(dataset_dir), "--max-recomputations", "3"])
+        assert code == 0
+        assert "stop_reason=budget" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume_matches(self, dataset_dir, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpt"
+        first = tmp_path / "first.json"
+        code = main([
+            "reconcile", str(dataset_dir),
+            "--checkpoint-dir", str(ckpt_dir),
+            "--checkpoint-every", "20",
+            "--output", str(first),
+        ])
+        assert code == 0
+        assert (ckpt_dir / "checkpoint.json").exists()
+        second = tmp_path / "second.json"
+        code = main([
+            "reconcile", str(dataset_dir),
+            "--resume", str(ckpt_dir / "checkpoint.json"),
+            "--output", str(second),
+        ])
+        assert code == 0
+        assert json.loads(first.read_text()) == json.loads(second.read_text())
+
+    def test_lenient_flag_quarantines(self, tmp_path, capsys):
+        from repro.runtime import inject_malformed_lines
+
+        directory = tmp_path / "dataset"
+        assert main(["generate", "A", str(directory), "--scale", "0.15"]) == 0
+        capsys.readouterr()
+        inject_malformed_lines(directory / "references.jsonl", rate=0.05, seed=7)
+        with pytest.raises(Exception):
+            main(["evaluate", str(directory)])  # strict load fails fast
+        code = main(["evaluate", str(directory), "--lenient"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "quarantined" in captured.err
+        assert (directory / "quarantine.jsonl").exists()
