@@ -66,6 +66,18 @@ def build_parser() -> argparse.ArgumentParser:
                           default="depgraph")
 
     for runner in (reconcile, evaluate):
+        perf = runner.add_argument_group("performance")
+        perf.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="worker processes for candidate-pair scoring during the "
+            "graph build; results are byte-identical to --workers 1 "
+            "(default 1 = serial)",
+        )
+        perf.add_argument(
+            "--stats", action="store_true",
+            help="print engine statistics (timings, counters, cache hit "
+            "rates) to stderr after the run",
+        )
         runtime = runner.add_argument_group("runtime (fault tolerance)")
         runtime.add_argument(
             "--deadline", type=float, default=None, metavar="SECONDS",
@@ -139,6 +151,11 @@ def _run(directory: str, algorithm: str, options=None):
         )
     domain = _domain_for(dataset.name)
     config = _config_for(algorithm, domain)
+    workers = int(getattr(options, "workers", 1) or 1)
+    if workers > 1:
+        from dataclasses import replace
+
+        config = replace(config, workers=workers)
     guard = None
     checkpointer = None
     if options is not None:
@@ -168,7 +185,55 @@ def _run(directory: str, algorithm: str, options=None):
         print(f"run degraded: stop_reason={result.stop_reason}", file=sys.stderr)
         for event in result.degradations:
             print(f"  [{event.kind}] {event.detail}", file=sys.stderr)
+    if options is not None and getattr(options, "stats", False):
+        _print_stats(reconciler.stats)
     return dataset, reconciler, result
+
+
+def _hit_rate(hits: int, misses: int) -> str:
+    total = hits + misses
+    if not total:
+        return "n/a"
+    return f"{hits / total:.1%} ({hits}/{total})"
+
+
+def _print_stats(stats) -> None:
+    """Engine statistics, including cache effectiveness, on stderr."""
+    err = sys.stderr
+    print("engine stats:", file=err)
+    print(
+        f"  build {stats.build_seconds:.2f}s, iterate {stats.iterate_seconds:.2f}s "
+        f"(workers={stats.parallel_workers})",
+        file=err,
+    )
+    print(
+        f"  candidate_pairs={stats.candidate_pairs} pair_nodes={stats.pair_nodes} "
+        f"value_nodes={stats.value_nodes} graph_nodes={stats.graph_nodes}",
+        file=err,
+    )
+    print(
+        f"  recomputations={stats.recomputations} merges={stats.merges} "
+        f"non_merges={stats.non_merges} fusions={stats.fusions}",
+        file=err,
+    )
+    print("  cache effectiveness:", file=err)
+    print(
+        f"    values cache   {_hit_rate(stats.values_cache_hits, stats.values_cache_misses)}",
+        file=err,
+    )
+    print(
+        f"    contacts cache {_hit_rate(stats.contacts_cache_hits, stats.contacts_cache_misses)}",
+        file=err,
+    )
+    print(
+        f"    feature cache  {_hit_rate(stats.feature_cache_hits, stats.feature_cache_misses)}",
+        file=err,
+    )
+    print(
+        f"    pair-score memo {_hit_rate(stats.pair_memo_hits, stats.pair_memo_misses)}, "
+        f"prefilter skips {stats.prefilter_skips}",
+        file=err,
+    )
 
 
 def _cmd_reconcile(args) -> int:

@@ -21,13 +21,22 @@ class BlockingIndex:
     """Inverted index from blocking key to reference ids."""
 
     def __init__(self, *, max_block_size: int | None = None) -> None:
-        self._buckets: dict[str, list[str]] = {}
+        # Buckets are insertion-ordered sets (dicts with None values):
+        # deduplicated at add time, so membership and size are exact.
+        self._buckets: dict[str, dict[str, None]] = {}
         self._max_block_size = max_block_size
-        self.oversized_blocks = 0
+        self._oversized: set[str] = set()
+
+    @property
+    def oversized_blocks(self) -> int:
+        """Number of *distinct* blocks ever skipped for being over
+        ``max_block_size``. Counting keys (not skip events) keeps the
+        counter stable when :meth:`pairs` is iterated more than once."""
+        return len(self._oversized)
 
     def add(self, ref_id: str, keys: Iterable[str]) -> None:
         for key in keys:
-            self._buckets.setdefault(key, []).append(ref_id)
+            self._buckets.setdefault(key, {})[ref_id] = None
 
     def add_and_pairs(self, ref_id: str, keys: Iterable[str]) -> list[PairKey]:
         """Add *ref_id* and return its candidate pairs against the
@@ -37,7 +46,7 @@ class BlockingIndex:
         """
         pairs: set[PairKey] = set()
         for key in keys:
-            bucket = self._buckets.setdefault(key, [])
+            bucket = self._buckets.setdefault(key, {})
             small_enough = (
                 self._max_block_size is None or len(bucket) < self._max_block_size
             )
@@ -46,8 +55,8 @@ class BlockingIndex:
                     if other != ref_id:
                         pairs.add(pair_key(ref_id, other))
             elif bucket:
-                self.oversized_blocks += 1
-            bucket.append(ref_id)
+                self._oversized.add(key)
+            bucket[ref_id] = None
         return sorted(pairs)
 
     def __len__(self) -> int:
@@ -58,16 +67,16 @@ class BlockingIndex:
 
         Blocks larger than ``max_block_size`` are skipped entirely (a
         key shared by half the dataset carries no signal and would
-        dominate the quadratic cost); the number of skipped blocks is
+        dominate the quadratic cost); the distinct skipped blocks are
         recorded in :attr:`oversized_blocks`.
         """
         seen: set[PairKey] = set()
         for key in sorted(self._buckets):
             bucket = self._buckets[key]
             if self._max_block_size is not None and len(bucket) > self._max_block_size:
-                self.oversized_blocks += 1
+                self._oversized.add(key)
                 continue
-            ordered = sorted(set(bucket))
+            ordered = sorted(bucket)
             for i, left in enumerate(ordered):
                 for right in ordered[i + 1 :]:
                     candidate = pair_key(left, right)

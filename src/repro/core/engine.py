@@ -27,6 +27,8 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..perf.parallel import ParallelScorer
+from ..perf.scoring import channel_value_pairs, pair_evidence
 from ..runtime.errors import BudgetExceeded, DeadlineExceeded, GuardTripped, QueueEmpty
 from ..runtime.guards import DegradationEvent
 from .blocking import BlockingIndex
@@ -63,6 +65,19 @@ class EngineStats:
     build_seconds: float = 0.0
     iterate_seconds: float = 0.0
     skipped_weak_fanout: int = 0
+    # Cache-effectiveness counters (all plain ints so checkpoints can
+    # round-trip them through asdict/EngineStats(**...)).
+    values_cache_hits: int = 0
+    values_cache_misses: int = 0
+    contacts_cache_hits: int = 0
+    contacts_cache_misses: int = 0
+    feature_cache_hits: int = 0
+    feature_cache_misses: int = 0
+    pair_memo_hits: int = 0
+    pair_memo_misses: int = 0
+    prefilter_skips: int = 0
+    #: worker processes the build actually used (1 = serial).
+    parallel_workers: int = 1
     per_class_nodes: dict[str, int] = field(default_factory=dict)
     #: structured trail of everything that degraded during the run
     #: (guard trips, pruned weak fan-out, baseline fallbacks).
@@ -88,7 +103,16 @@ class Reconciler:
         # Cluster membership and pooled-value caches (enrichment state).
         self._members: dict[str, list[str]] = {}
         self._values_cache: dict[str, dict[str, tuple[str, ...]]] = {}
-        self._contacts_cache: dict[str, tuple[int, frozenset[str]]] = {}
+        # Contact-root cache with fine-grained invalidation: an entry
+        # stays valid across merges that cannot change it. The reverse
+        # index maps a cluster root to the elements whose cached contact
+        # sets mention it; the union-find notifies us of every merge.
+        self._contacts_cache: dict[str, frozenset[str]] = {}
+        self._contacts_rdeps: dict[str, set[str]] = {}
+        self.uf.add_union_listener(self._invalidate_contacts)
+        # Value-pair score memo shared by every candidate pair of a
+        # build (see perf.scoring.memoised_score for the semantics).
+        self._pair_score_memo: dict = {}
         self._weak_attrs: dict[str, tuple[str, ...]] = {
             dep.class_name: dep.attrs for dep in domain.weak_dependencies()
         }
@@ -99,6 +123,14 @@ class Reconciler:
         self._built = False
         #: why the last run stopped: "converged" or a degradation kind.
         self.stop_reason = "converged"
+
+    def _sync_feature_cache_stats(self) -> None:
+        """Mirror the domain's :class:`~repro.perf.features.FeatureCache`
+        counters (when the domain has one) into the engine stats."""
+        cache = getattr(self.domain, "feature_cache", None)
+        if cache is not None:
+            self.stats.feature_cache_hits = cache.hits
+            self.stats.feature_cache_misses = cache.misses
 
     def enabled_atomic_channels(self, class_name: str):
         """The atomic channels active under the current config."""
@@ -132,7 +164,9 @@ class Reconciler:
             return self.store.get(element).values
         cached = self._values_cache.get(element)
         if cached is not None:
+            self.stats.values_cache_hits += 1
             return cached
+        self.stats.values_cache_misses += 1
         pooled: dict[str, list[str]] = {}
         for reference in self._element_refs(element):
             for attribute, values in reference.values.items():
@@ -150,21 +184,43 @@ class Reconciler:
     def _contact_roots(self, element: str, class_name: str) -> frozenset[str]:
         """Roots of all contacts of the element (for weak counts).
 
-        Cached per element, keyed by the union-find version so the
-        cache refreshes after any merge anywhere.
+        Cached per element with *dirty-root* invalidation: the cached
+        set can only change when one of the roots it contains is
+        absorbed by a merge (the contact's root moved) or when the
+        element itself merges (its pooled contact list grew). The
+        union-find notifies :meth:`_invalidate_contacts` on every
+        union, which evicts exactly those entries — merges elsewhere in
+        the dataset leave the cache warm.
         """
-        version = self.uf.union_count
         cached = self._contacts_cache.get(element)
-        if cached is not None and cached[0] == version:
-            return cached[1]
+        if cached is not None:
+            self.stats.contacts_cache_hits += 1
+            return cached
+        self.stats.contacts_cache_misses += 1
         attrs = self._weak_attrs.get(class_name, ())
         roots: set[str] = set()
         for attribute in attrs:
             for contact_id in self._element_assoc(element, attribute):
                 roots.add(self.uf.find(contact_id))
         frozen = frozenset(roots)
-        self._contacts_cache[element] = (version, frozen)
+        self._contacts_cache[element] = frozen
+        for root in frozen:
+            self._contacts_rdeps.setdefault(root, set()).add(element)
         return frozen
+
+    def _invalidate_contacts(self, survivor: str, absorbed: str) -> None:
+        """Union-find merge hook: evict exactly the contact-root cache
+        entries the merge invalidated — those whose set contains the
+        absorbed root (it stopped being a root) and the merged elements
+        themselves (their pooled contact lists grew). Sets containing
+        only the survivor stay valid: it is still the root and the set
+        membership is unchanged. Spurious evictions would merely cost a
+        recompute; missing one would be a correctness bug, hence the
+        reverse index is append-only and may over-approximate."""
+        for dependent in self._contacts_rdeps.pop(absorbed, ()):
+            self._contacts_cache.pop(dependent, None)
+        self._contacts_cache.pop(survivor, None)
+        self._contacts_cache.pop(absorbed, None)
 
     # ------------------------------------------------------------------
     # build
@@ -178,8 +234,15 @@ class Reconciler:
         self._register_members()
         class_order = self.domain.class_order()
         per_class_nodes: dict[str, list[PairNode]] = {}
-        for class_name in class_order:
-            per_class_nodes[class_name] = self._build_class_nodes(class_name)
+        scorer = self._make_scorer()
+        try:
+            for class_name in class_order:
+                per_class_nodes[class_name] = self._build_class_nodes(
+                    class_name, scorer=scorer
+                )
+        finally:
+            if scorer is not None:
+                scorer.shutdown()
         self._per_class_nodes = per_class_nodes
         self._wire_association_edges(per_class_nodes)
         self._wire_weak_edges(per_class_nodes)
@@ -198,6 +261,7 @@ class Reconciler:
             class_name: len(nodes) for class_name, nodes in per_class_nodes.items()
         }
         self.stats.build_seconds = time.perf_counter() - started
+        self._sync_feature_cache_stats()
         if self.stats.skipped_weak_fanout:
             self.stats.degradations.append(
                 DegradationEvent(
@@ -229,8 +293,37 @@ class Reconciler:
             root = self.uf.find(reference.ref_id)
             self._members.setdefault(root, []).append(reference.ref_id)
 
-    def _build_class_nodes(self, class_name: str) -> list[PairNode]:
-        """Blocking + first-pass node construction for one class."""
+    def _make_scorer(self) -> ParallelScorer | None:
+        """A worker pool for the build, or ``None`` to run serially
+        (``workers=1``, or a domain workers cannot rebuild — recorded
+        as a ``parallel_fallback`` degradation, never an error)."""
+        self.stats.parallel_workers = 1
+        if self.config.workers <= 1:
+            return None
+        try:
+            scorer = ParallelScorer(self.domain, self.config.workers)
+        except Exception as exc:
+            self.stats.degradations.append(
+                DegradationEvent(
+                    kind="parallel_fallback",
+                    detail=f"serial build: {exc}",
+                )
+            )
+            return None
+        self.stats.parallel_workers = self.config.workers
+        return scorer
+
+    def _build_class_nodes(
+        self, class_name: str, scorer: ParallelScorer | None = None
+    ) -> list[PairNode]:
+        """Blocking + first-pass node construction for one class.
+
+        With a *scorer*, candidate pairs are scored in worker processes
+        but nodes are materialised here in the original pair order — a
+        parallel build is byte-identical to a serial one. No union
+        happens while a class's pairs are scored, so workers only need
+        the (immutable during this loop) pooled attribute values.
+        """
         references = self.store.of_class(class_name)
         index = BlockingIndex(max_block_size=self.config.max_block_size)
         self._block_indexes[class_name] = index
@@ -239,12 +332,52 @@ class Reconciler:
             index.add(element, self.domain.blocking_keys(reference))
         channels = self.enabled_atomic_channels(class_name)
         nodes: list[PairNode] = []
-        for left, right in index.pairs():
+        if scorer is not None:
+            pair_list = list(index.pairs())
+            evidences = self._score_pairs_parallel(
+                scorer, class_name, channels, pair_list
+            )
+            if evidences is not None:
+                for (left, right), evidence in zip(pair_list, evidences):
+                    self.stats.candidate_pairs += 1
+                    if self.uf.connected(left, right):
+                        continue
+                    node = self._node_from_evidence(class_name, left, right, evidence)
+                    if node is not None:
+                        nodes.append(node)
+                return nodes
+            pairs = iter(pair_list)  # worker failure: fall back serially
+        else:
+            pairs = index.pairs()
+        for left, right in pairs:
             self.stats.candidate_pairs += 1
             node = self._make_pair_node(class_name, left, right, channels)
             if node is not None:
                 nodes.append(node)
         return nodes
+
+    def _score_pairs_parallel(
+        self, scorer: ParallelScorer, class_name: str, channels, pair_list
+    ):
+        """Evidence lists for *pair_list* from the worker pool, or
+        ``None`` (plus a degradation record) when the pool fails."""
+        values: dict[str, dict[str, tuple[str, ...]]] = {}
+        for pair in pair_list:
+            for element in pair:
+                if element not in values:
+                    values[element] = dict(self._element_values(element))
+        channel_names = tuple(channel.name for channel in channels)
+        try:
+            return scorer.score(class_name, channel_names, pair_list, values)
+        except Exception as exc:
+            self.stats.degradations.append(
+                DegradationEvent(
+                    kind="parallel_fallback",
+                    detail=f"class {class_name} scored serially: {exc}",
+                )
+            )
+            self.stats.parallel_workers = 1
+            return None
 
     def _make_pair_node(
         self, class_name: str, left: str, right: str, channels, *, force: bool = False
@@ -258,40 +391,39 @@ class Reconciler:
         """
         if self.uf.connected(left, right):
             return None
-        left_values = self._element_values(left)
-        right_values = self._element_values(right)
-        floor = 0.02 if force else None
-        evidence: list = []
-        for channel in channels:
-            threshold = channel.liberal_threshold if floor is None else min(
-                channel.liberal_threshold, floor
-            )
-            for value_l, value_r in self._channel_value_pairs(
-                channel, left_values, right_values
-            ):
-                score = channel.comparator(value_l, value_r)
-                if score >= threshold:
-                    evidence.append(
-                        self.graph.value_node(channel.name, value_l, value_r, score)
-                    )
+        evidence = pair_evidence(
+            channels,
+            self._element_values(left),
+            self._element_values(right),
+            self._pair_score_memo,
+            floor=0.02 if force else None,
+            stats=self.stats,
+        )
+        return self._node_from_evidence(class_name, left, right, evidence, force=force)
+
+    def _node_from_evidence(
+        self,
+        class_name: str,
+        left: str,
+        right: str,
+        evidence: list[tuple[str, str, str, float]],
+        *,
+        force: bool = False,
+    ) -> PairNode | None:
         if not evidence and not force:
             return None
         node = self.graph.add_pair_node(class_name, left, right)
-        for value_node in evidence:
-            node.add_value_evidence(value_node)
+        for channel_name, value_l, value_r, score in evidence:
+            node.add_value_evidence(
+                self.graph.value_node(channel_name, value_l, value_r, score)
+            )
         return node
 
     @staticmethod
     def _channel_value_pairs(channel, left_values, right_values):
         """All comparable value pairs of one channel, both orientations
-        for cross-attribute channels."""
-        for value_l in left_values.get(channel.left_attr, ()):
-            for value_r in right_values.get(channel.right_attr, ()):
-                yield value_l, value_r
-        if channel.is_cross:
-            for value_l in left_values.get(channel.right_attr, ()):
-                for value_r in right_values.get(channel.left_attr, ()):
-                    yield value_r, value_l
+        for cross-attribute channels (see perf.scoring)."""
+        return channel_value_pairs(channel, left_values, right_values)
 
     def _wire_association_edges(self, per_class_nodes) -> None:
         """Second pass of §3.1: edges along association attributes."""
@@ -495,6 +627,7 @@ class Reconciler:
         self.stats.queue_front_pushes = self.queue.pushed_front
         self.stats.queue_back_pushes = self.queue.pushed_back
         self.stats.fusions = self.graph.fusions
+        self._sync_feature_cache_stats()
         if trip is not None and raise_on_trip:
             raise trip
         return self._result()

@@ -62,6 +62,15 @@ class AtomicChannel:
 
     ``is_key`` marks channels whose exact match (score 1.0) alone
     implies reconciliation (§4: "some attributes serving as keys").
+
+    The optional fast-path fields are pure optimisations wired by the
+    domain (see :mod:`repro.perf`): ``features_left`` / ``features_right``
+    map a raw value to precomputed features, ``fast_comparator(lf, rf,
+    floor)`` must return the exact ``comparator`` score whenever that
+    score is at least ``floor`` (anything below ``floor`` otherwise),
+    and ``score_upper_bound(lf, rf)`` must never be below the true
+    score. When ``fast_comparator`` is ``None`` the engine calls
+    ``comparator`` directly.
     """
 
     name: str
@@ -71,6 +80,10 @@ class AtomicChannel:
     comparator: Callable[[str, str], float]
     liberal_threshold: float = 0.5
     is_key: bool = False
+    features_left: Callable[[str], object] | None = None
+    features_right: Callable[[str], object] | None = None
+    fast_comparator: Callable[[object, object, float], float] | None = None
+    score_upper_bound: Callable[[object, object], float] | None = None
 
     @property
     def is_cross(self) -> bool:
@@ -274,6 +287,11 @@ class EngineConfig:
     #: §3.2's ordering heuristic: strong-boolean reactivations jump the
     #: queue. Disable to measure the heuristic's effect (plain FIFO).
     strong_to_front: bool = True
+    #: worker processes for candidate-pair scoring during build; 1 runs
+    #: serially. Any value yields byte-identical results (see
+    #: :mod:`repro.perf.parallel`), so this is excluded from checkpoint
+    #: fingerprints — a run may resume with a different worker count.
+    workers: int = 1
 
     def with_mode(self, mode: Mode) -> "EngineConfig":
         return replace(self, propagate=mode.propagate, enrich=mode.enrich)

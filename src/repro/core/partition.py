@@ -32,8 +32,17 @@ class UnionFind:
         self._size: dict[Hashable, int] = {}
         self._enemies: dict[Hashable, set[Hashable]] = {}
         self.union_count = 0
+        # Merge observers (fine-grained cache invalidation). Runtime
+        # state, not part of the partition: deliberately excluded from
+        # state_dict — a restored engine re-registers its listeners.
+        self._listeners: list = []
         for item in items:
             self.find(item)
+
+    def add_union_listener(self, listener) -> None:
+        """Call ``listener(survivor_root, absorbed_root)`` after every
+        effective union, once bookkeeping is complete."""
+        self._listeners.append(listener)
 
     def __contains__(self, item: Hashable) -> bool:
         return item in self._parent
@@ -106,6 +115,8 @@ class UnionFind:
                 enemy_set.discard(right_root)
                 enemy_set.add(left_root)
                 survivors.add(enemy_root)
+        for listener in self._listeners:
+            listener(left_root, right_root)
         return left_root
 
     def enemies_of(self, item: Hashable) -> frozenset[Hashable]:

@@ -23,18 +23,22 @@ from ..core.model import (
 )
 from ..core.references import Reference
 from ..core.schema import Attribute, Schema, SchemaClass
+from ..perf.features import FeatureCache
 from ..similarity import (
     monge_elkan_similarity,
     name_similarity,
     pages_similarity,
-    parse_name,
+    register_cache,
     title_similarity,
+    title_similarity_features,
+    title_upper_bound,
     venue_name_similarity,
+    venue_similarity_features,
+    venue_upper_bound,
     year_similarity,
 )
 from ..similarity.nicknames import canonical_given_names
 from ..similarity.tokens import tokenize
-from ..similarity.venues import expand_venue_tokens
 from .base import PAPER_BETA, PAPER_GAMMA, PAPER_MERGE_THRESHOLD, max_of_profiles
 
 __all__ = ["CORA_SCHEMA", "CoraDomainModel"]
@@ -70,14 +74,24 @@ CORA_SCHEMA = Schema(
     ]
 )
 
-_cached_name_sim = functools.lru_cache(maxsize=200_000)(name_similarity)
-_cached_title_sim = functools.lru_cache(maxsize=200_000)(title_similarity)
-_cached_venue_sim = functools.lru_cache(maxsize=200_000)(venue_name_similarity)
+# Bounded string-keyed memos for callers outside the engine's
+# feature-based fast path (see domains.pim for the rationale).
+_CACHE_SIZE = 20_000
+_cached_name_sim = register_cache(functools.lru_cache(maxsize=_CACHE_SIZE)(name_similarity))
+_cached_title_sim = register_cache(functools.lru_cache(maxsize=_CACHE_SIZE)(title_similarity))
+_cached_venue_sim = register_cache(
+    functools.lru_cache(maxsize=_CACHE_SIZE)(venue_name_similarity)
+)
 
 
-@functools.lru_cache(maxsize=100_000)
+@register_cache
+@functools.lru_cache(maxsize=_CACHE_SIZE)
 def _location_similarity(left: str, right: str) -> float:
     return monge_elkan_similarity(left, right)
+
+
+def _fast_name_similarity(left, right, floor: float) -> float:
+    return name_similarity(left, right)  # accepts ParsedName directly
 
 
 _PERSON_PROFILES = ((("name", 1.0),),)
@@ -113,6 +127,12 @@ class CoraDomainModel(DomainModel):
     schema = CORA_SCHEMA
 
     def __init__(self) -> None:
+        self.feature_cache = FeatureCache()
+        name_features = self.feature_cache.extractor("name")
+        title_features = self.feature_cache.extractor("title")
+        venue_features = self.feature_cache.extractor("venue")
+        self._name_features = name_features
+        self._venue_features = venue_features
         self._atomic = {
             "Person": (
                 AtomicChannel(
@@ -122,6 +142,9 @@ class CoraDomainModel(DomainModel):
                     right_attr="name",
                     comparator=_cached_name_sim,
                     liberal_threshold=0.5,
+                    features_left=name_features,
+                    features_right=name_features,
+                    fast_comparator=_fast_name_similarity,
                 ),
             ),
             "Article": (
@@ -132,6 +155,10 @@ class CoraDomainModel(DomainModel):
                     right_attr="title",
                     comparator=_cached_title_sim,
                     liberal_threshold=0.5,
+                    features_left=title_features,
+                    features_right=title_features,
+                    fast_comparator=title_similarity_features,
+                    score_upper_bound=title_upper_bound,
                 ),
                 AtomicChannel(
                     name="pages",
@@ -158,6 +185,10 @@ class CoraDomainModel(DomainModel):
                     right_attr="name",
                     comparator=_cached_venue_sim,
                     liberal_threshold=0.25,
+                    features_left=venue_features,
+                    features_right=venue_features,
+                    fast_comparator=venue_similarity_features,
+                    score_upper_bound=venue_upper_bound,
                 ),
                 AtomicChannel(
                     name="year",
@@ -232,17 +263,17 @@ class CoraDomainModel(DomainModel):
 
     def blocking_keys(self, reference: Reference) -> Iterable[str]:
         if reference.class_name == "Person":
-            return _person_blocking_keys(reference)
+            return _person_blocking_keys(reference, self._name_features)
         if reference.class_name == "Article":
             return _article_blocking_keys(reference)
-        return _venue_blocking_keys(reference)
+        return _venue_blocking_keys(reference, self._venue_features)
 
     def key_values(self, reference: Reference) -> Iterable[str]:
         if reference.class_name == "Venue":
             return [
-                "vn:" + " ".join(tokenize(value))
+                "vn:" + features.norm
                 for value in reference.get("name")
-                if tokenize(value)
+                if (features := self._venue_features(value)).norm
             ]
         return ()
 
@@ -260,10 +291,10 @@ class CoraDomainModel(DomainModel):
         return ("Venue", "Person", "Article")
 
 
-def _person_blocking_keys(reference: Reference) -> Iterable[str]:
+def _person_blocking_keys(reference: Reference, name_features) -> Iterable[str]:
     keys: set[str] = set()
     for value in reference.get("name"):
-        parsed = parse_name(value)
+        parsed = name_features(value)
         if parsed.surname:
             for part in parsed.surname.split():
                 keys.add("t:" + part)
@@ -287,12 +318,12 @@ def _article_blocking_keys(reference: Reference) -> Iterable[str]:
     return sorted(keys)
 
 
-def _venue_blocking_keys(reference: Reference) -> Iterable[str]:
+def _venue_blocking_keys(reference: Reference, venue_features) -> Iterable[str]:
     keys: set[str] = set()
     for value in reference.get("name"):
-        for token in expand_venue_tokens(value):
+        features = venue_features(value)
+        for token in features.content:
             keys.add("v:" + token)
-        normalized = " ".join(tokenize(value))
-        if normalized:
-            keys.add("n:" + normalized)
+        if features.norm:
+            keys.add("n:" + features.norm)
     return sorted(keys)

@@ -37,23 +37,29 @@ from ..core.model import (
 )
 from ..core.references import Reference
 from ..core.schema import Attribute, Schema, SchemaClass
+from ..perf.features import FeatureCache
 from ..similarity import (
     NameCompat,
+    email_features as _plain_email_features,
     canonical_given_names,
     email_similarity,
+    email_similarity_features,
+    email_upper_bound,
     monge_elkan_similarity,
     name_compatibility,
     name_email_similarity,
     name_similarity,
     pages_similarity,
-    parse_email,
-    parse_name,
+    register_cache,
     title_similarity,
+    title_similarity_features,
+    title_upper_bound,
     venue_name_similarity,
+    venue_similarity_features,
+    venue_upper_bound,
     year_similarity,
 )
 from ..similarity.tokens import tokenize
-from ..similarity.venues import expand_venue_tokens
 from .base import PAPER_BETA, PAPER_GAMMA, PAPER_MERGE_THRESHOLD, max_of_profiles
 
 __all__ = ["PIM_SCHEMA", "PimDomainModel", "depgraph_config"]
@@ -93,18 +99,43 @@ PIM_SCHEMA = Schema(
 
 
 # Comparators are memoised: the same value pair is compared many times
-# across candidate pairs, and parsing names/emails dominates the cost.
-_cached_name_sim = functools.lru_cache(maxsize=200_000)(name_similarity)
-_cached_email_sim = functools.lru_cache(maxsize=200_000)(email_similarity)
-_cached_name_email_sim = functools.lru_cache(maxsize=200_000)(name_email_similarity)
-_cached_title_sim = functools.lru_cache(maxsize=200_000)(title_similarity)
-_cached_venue_sim = functools.lru_cache(maxsize=200_000)(venue_name_similarity)
-_cached_name_compat = functools.lru_cache(maxsize=200_000)(name_compatibility)
+# across candidate pairs. The engine's hot path now runs the
+# feature-based fast comparators below plus its own value-pair memo, so
+# these string-keyed caches only back the constraint/eligibility checks
+# and external callers — bounded tightly and registered for
+# clear_similarity_caches().
+_CACHE_SIZE = 20_000
+_cached_name_sim = register_cache(functools.lru_cache(maxsize=_CACHE_SIZE)(name_similarity))
+_cached_email_sim = register_cache(functools.lru_cache(maxsize=_CACHE_SIZE)(email_similarity))
+_cached_name_email_sim = register_cache(
+    functools.lru_cache(maxsize=_CACHE_SIZE)(name_email_similarity)
+)
+_cached_title_sim = register_cache(functools.lru_cache(maxsize=_CACHE_SIZE)(title_similarity))
+_cached_venue_sim = register_cache(
+    functools.lru_cache(maxsize=_CACHE_SIZE)(venue_name_similarity)
+)
+_cached_name_compat = register_cache(
+    functools.lru_cache(maxsize=_CACHE_SIZE)(name_compatibility)
+)
 
 
-@functools.lru_cache(maxsize=100_000)
+@register_cache
+@functools.lru_cache(maxsize=_CACHE_SIZE)
 def _location_similarity(left: str, right: str) -> float:
     return monge_elkan_similarity(left, right)
+
+
+# Fast-path comparators over precomputed features. Each is exact
+# whenever the true score reaches the floor the engine compares against
+# (property-tested in tests/test_perf_features.py).
+def _fast_name_similarity(left, right, floor: float) -> float:
+    return name_similarity(left, right)  # accepts ParsedName directly
+
+
+def _fast_name_email_similarity(name_features, email_feats, floor: float) -> float:
+    if email_feats.parsed is None:
+        return 0.0
+    return name_email_similarity(name_features, email_feats.parsed)
 
 
 # S_rv decision trees, realised as max-over-profiles (see domains.base).
@@ -146,6 +177,17 @@ class PimDomainModel(DomainModel):
     schema = PIM_SCHEMA
 
     def __init__(self) -> None:
+        # One feature cache per domain instance: every channel fast
+        # path, blocking-key derivation and constraint check shares the
+        # precomputed per-value features.
+        self.feature_cache = FeatureCache()
+        name_features = self.feature_cache.extractor("name")
+        email_features = self.feature_cache.extractor("email")
+        title_features = self.feature_cache.extractor("title")
+        venue_features = self.feature_cache.extractor("venue")
+        self._name_features = name_features
+        self._email_features = email_features
+        self._venue_features = venue_features
         self._atomic = {
             "Person": (
                 AtomicChannel(
@@ -155,6 +197,9 @@ class PimDomainModel(DomainModel):
                     right_attr="name",
                     comparator=_cached_name_sim,
                     liberal_threshold=0.5,
+                    features_left=name_features,
+                    features_right=name_features,
+                    fast_comparator=_fast_name_similarity,
                 ),
                 AtomicChannel(
                     name="email",
@@ -164,6 +209,10 @@ class PimDomainModel(DomainModel):
                     comparator=_cached_email_sim,
                     liberal_threshold=0.5,
                     is_key=True,
+                    features_left=email_features,
+                    features_right=email_features,
+                    fast_comparator=email_similarity_features,
+                    score_upper_bound=email_upper_bound,
                 ),
                 AtomicChannel(
                     name="name_email",
@@ -172,6 +221,9 @@ class PimDomainModel(DomainModel):
                     right_attr="email",
                     comparator=_cached_name_email_sim,
                     liberal_threshold=0.6,
+                    features_left=name_features,
+                    features_right=email_features,
+                    fast_comparator=_fast_name_email_similarity,
                 ),
             ),
             "Article": (
@@ -182,6 +234,10 @@ class PimDomainModel(DomainModel):
                     right_attr="title",
                     comparator=_cached_title_sim,
                     liberal_threshold=0.5,
+                    features_left=title_features,
+                    features_right=title_features,
+                    fast_comparator=title_similarity_features,
+                    score_upper_bound=title_upper_bound,
                 ),
                 AtomicChannel(
                     name="pages",
@@ -208,6 +264,10 @@ class PimDomainModel(DomainModel):
                     right_attr="name",
                     comparator=_cached_venue_sim,
                     liberal_threshold=0.25,
+                    features_left=venue_features,
+                    features_right=venue_features,
+                    fast_comparator=venue_similarity_features,
+                    score_upper_bound=venue_upper_bound,
                 ),
                 AtomicChannel(
                     name="year",
@@ -285,10 +345,12 @@ class PimDomainModel(DomainModel):
     # -- candidates & keys ----------------------------------------------------
     def blocking_keys(self, reference: Reference) -> Iterable[str]:
         if reference.class_name == "Person":
-            return _person_blocking_keys(reference)
+            return _person_blocking_keys(
+                reference, self._name_features, self._email_features
+            )
         if reference.class_name == "Article":
             return _article_blocking_keys(reference)
-        return _venue_blocking_keys(reference)
+        return _venue_blocking_keys(reference, self._venue_features)
 
     def key_values(self, reference: Reference) -> Iterable[str]:
         if reference.class_name == "Person":
@@ -296,14 +358,14 @@ class PimDomainModel(DomainModel):
             return [
                 "em:" + parsed.raw
                 for value in reference.get("email")
-                if (parsed := parse_email(value)) is not None
+                if (parsed := self._email_features(value).parsed) is not None
             ]
         if reference.class_name == "Venue":
             # Identical normalised venue strings denote one venue.
             return [
-                "vn:" + " ".join(tokenize(value))
+                "vn:" + features.norm
                 for value in reference.get("name")
-                if tokenize(value)
+                if (features := self._venue_features(value)).norm
             ]
         return ()
 
@@ -317,7 +379,9 @@ class PimDomainModel(DomainModel):
         shared contacts must not merge onto somebody else's Ping."""
         if class_name != "Person":
             return True
-        if _has_structured_name(left) and _has_structured_name(right):
+        if _has_structured_name(left, self._name_features) and _has_structured_name(
+            right, self._name_features
+        ):
             return True
         return _cross_name_evidence(left, right) >= 0.9
 
@@ -327,7 +391,7 @@ class PimDomainModel(DomainModel):
     ) -> bool:
         if class_name != "Person":
             return False
-        return _person_conflict(left, right)
+        return _person_conflict(left, right, self._email_features)
 
     def distinct_pairs(self, references: Iterable[Reference]):
         """§5.3 constraint 1: authors of a paper are distinct persons."""
@@ -345,10 +409,12 @@ class PimDomainModel(DomainModel):
         return ("Venue", "Person", "Article")
 
 
-def _person_blocking_keys(reference: Reference) -> Iterable[str]:
+def _person_blocking_keys(
+    reference: Reference, name_features, email_features
+) -> Iterable[str]:
     keys: set[str] = set()
     for value in reference.get("name"):
-        parsed = parse_name(value)
+        parsed = name_features(value)
         if parsed.surname:
             for part in parsed.surname.split():
                 keys.add("t:" + part)
@@ -356,7 +422,7 @@ def _person_blocking_keys(reference: Reference) -> Iterable[str]:
             for canonical in canonical_given_names(parsed.given):
                 keys.add("t:" + canonical)
     for value in reference.get("email"):
-        parsed_email = parse_email(value)
+        parsed_email = email_features(value).parsed
         if parsed_email is None:
             continue
         keys.add("e:" + parsed_email.raw)
@@ -382,14 +448,14 @@ def _article_blocking_keys(reference: Reference) -> Iterable[str]:
     return sorted(keys)
 
 
-def _venue_blocking_keys(reference: Reference) -> Iterable[str]:
+def _venue_blocking_keys(reference: Reference, venue_features) -> Iterable[str]:
     keys: set[str] = set()
     for value in reference.get("name"):
-        for token in expand_venue_tokens(value):
+        features = venue_features(value)
+        for token in features.content:
             keys.add("v:" + token)
-        normalized = " ".join(tokenize(value))
-        if normalized:
-            keys.add("n:" + normalized)
+        if features.norm:
+            keys.add("n:" + features.norm)
     return sorted(keys)
 
 
@@ -412,23 +478,25 @@ def _cross_name_evidence(left: Mapping, right: Mapping) -> float:
     return best
 
 
-def _has_structured_name(values: Mapping) -> bool:
+def _has_structured_name(values: Mapping, name_features) -> bool:
     return any(
-        parse_name(mention).surname for mention in values.get("name", ())
+        name_features(mention).surname for mention in values.get("name", ())
     )
 
 
-def _person_conflict(left: Mapping, right: Mapping) -> bool:
+def _person_conflict(
+    left: Mapping, right: Mapping, email_features=_plain_email_features
+) -> bool:
     """Constraints 2 and 3 of §5.3 over pooled cluster values."""
     left_emails = [
         parsed
         for value in left.get("email", ())
-        if (parsed := parse_email(value)) is not None
+        if (parsed := email_features(value).parsed) is not None
     ]
     right_emails = [
         parsed
         for value in right.get("email", ())
-        if (parsed := parse_email(value)) is not None
+        if (parsed := email_features(value).parsed) is not None
     ]
     # Constraint 2's escape hatch: a shared address trumps everything.
     left_raw = {parsed.raw for parsed in left_emails}

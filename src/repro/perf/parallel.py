@@ -1,0 +1,148 @@
+"""Deterministic multi-process scoring of candidate pairs.
+
+The graph build's hot loop — scoring every blocking-generated candidate
+pair against its class's atomic channels — is embarrassingly parallel:
+no union happens while a class's pairs are scored, so workers need no
+partition state, only attribute values. The engine fans the pair list
+out here and then materialises nodes **in the original pair order** in
+the main process, which keeps the graph, the counters and therefore
+the whole run byte-identical to a serial build (``--workers 1``).
+
+Channels hold comparator closures and are not picklable, so workers
+are handed a *domain spec* (``module:qualname``) at pool start-up,
+rebuild the domain themselves, and select channels by name per chunk.
+Domains that cannot be rebuilt that way (defined in a test function,
+needing constructor arguments) make :class:`ParallelScorer` raise at
+construction; the engine records a ``parallel_fallback`` degradation
+and runs serially.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from .scoring import pair_evidence
+
+__all__ = ["ParallelScorer", "domain_spec"]
+
+
+def domain_spec(domain) -> str | None:
+    """``module:qualname`` spec a worker can rebuild *domain* from, or
+    ``None`` when the domain is not rebuildable (local class, shadowed
+    name, constructor that needs arguments)."""
+    cls = type(domain)
+    if "<" in cls.__qualname__ or "." in cls.__qualname__:
+        return None
+    try:
+        module = importlib.import_module(cls.__module__)
+    except ImportError:
+        return None
+    if getattr(module, cls.__qualname__, None) is not cls:
+        return None
+    try:
+        cls()
+    except Exception:
+        return None
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+# Worker-process state, populated once by the pool initializer. The
+# memo persists across chunks, so repeated value pairs cost one
+# comparator call per *worker*, mirroring the serial build's memo.
+_WORKER: dict = {}
+
+
+def _init_worker(spec: str) -> None:
+    module_name, _, qualname = spec.partition(":")
+    cls = getattr(importlib.import_module(module_name), qualname)
+    _WORKER["domain"] = cls()
+    _WORKER["channels"] = {}
+    _WORKER["memo"] = {}
+
+
+def _worker_channels(class_name: str, channel_names: tuple[str, ...]):
+    key = (class_name, channel_names)
+    channels = _WORKER["channels"].get(key)
+    if channels is None:
+        by_name = {
+            channel.name: channel
+            for channel in _WORKER["domain"].atomic_channels(class_name)
+        }
+        # Selecting by the names the *parent* enabled replicates its
+        # config (ablations) without shipping the config over.
+        channels = [by_name[name] for name in channel_names]
+        _WORKER["channels"][key] = channels
+    return channels
+
+
+def _score_chunk(payload):
+    class_name, channel_names, pairs, values = payload
+    channels = _worker_channels(class_name, channel_names)
+    memo = _WORKER["memo"]
+    return [
+        pair_evidence(channels, values[left], values[right], memo)
+        for left, right in pairs
+    ]
+
+
+class ParallelScorer:
+    """A process pool scoring candidate pairs for the engine.
+
+    ``score`` preserves input order exactly: chunk *k*'s results come
+    back before chunk *k+1*'s regardless of which worker finished
+    first, so the engine can zip results with pairs.
+    """
+
+    def __init__(self, domain, workers: int) -> None:
+        spec = domain_spec(domain)
+        if spec is None:
+            raise ValueError(
+                f"domain {type(domain).__qualname__} is not reconstructible "
+                "in worker processes (needs a module-level class with a "
+                "no-argument constructor)"
+            )
+        if workers < 2:
+            raise ValueError("ParallelScorer needs at least 2 workers")
+        self.workers = workers
+        try:
+            # fork shares the already-imported interpreter state; spawn
+            # (the only option on some platforms) re-imports per worker.
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            context = multiprocessing.get_context()
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_init_worker,
+            initargs=(spec,),
+        )
+
+    def score(
+        self,
+        class_name: str,
+        channel_names: tuple[str, ...],
+        pairs: list[tuple[str, str]],
+        values: dict[str, dict[str, tuple[str, ...]]],
+    ) -> list[list[tuple[str, str, str, float]]]:
+        """Evidence lists for *pairs*, in the same order as *pairs*."""
+        if not pairs:
+            return []
+        # A few chunks per worker smooths out uneven chunk costs
+        # without drowning the pool in pickling overhead.
+        chunk_count = min(len(pairs), self.workers * 4)
+        chunk_size = -(-len(pairs) // chunk_count)
+        chunks = []
+        for start in range(0, len(pairs), chunk_size):
+            chunk_pairs = pairs[start : start + chunk_size]
+            elements = {element for pair in chunk_pairs for element in pair}
+            chunk_values = {element: values[element] for element in elements}
+            chunks.append((class_name, channel_names, chunk_pairs, chunk_values))
+        results: list[list[tuple[str, str, str, float]]] = []
+        for chunk_result in self._pool.map(_score_chunk, chunks):
+            results.extend(chunk_result)
+        return results
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)

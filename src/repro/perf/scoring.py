@@ -1,0 +1,137 @@
+"""Shared atomic-channel scoring used by the serial and parallel builds.
+
+The engine's first-pass node construction and the worker processes of
+:mod:`repro.perf.parallel` both funnel through :func:`pair_evidence`,
+so a parallel build cannot diverge from the serial one: identical
+channel order, identical value-pair enumeration, identical prefilter
+and memo semantics.
+
+Scores flow through three layers, every one of them exact above the
+floor the engine compares against:
+
+1. an optional *upper-bound prefilter* (``channel.score_upper_bound``)
+   skips the comparator entirely when the score cannot reach the
+   channel's liberal threshold;
+2. a *fast comparator* (``channel.fast_comparator``) consumes
+   precomputed per-value features instead of raw strings;
+3. a per-process *memo* caches the result per distinct value pair, so
+   the same "j. smith" vs "smith, j" comparison runs once per build,
+   not once per candidate pair that mentions it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+__all__ = ["channel_value_pairs", "score_value_pair", "memoised_score", "pair_evidence"]
+
+#: outcome tags of :func:`memoised_score`, consumed by the engine's
+#: cache-effectiveness counters.
+HIT = "hit"
+MISS = "miss"
+PREFILTERED = "prefiltered"
+
+
+def channel_value_pairs(
+    channel,
+    left_values: Mapping[str, tuple[str, ...]],
+    right_values: Mapping[str, tuple[str, ...]],
+) -> Iterator[tuple[str, str]]:
+    """All comparable value pairs of one channel, both orientations for
+    cross-attribute channels.
+
+    For cross channels the yielded pair is always oriented
+    ``(left_attr value, right_attr value)`` regardless of which side of
+    the reference pair contributed which, so the comparator always sees
+    e.g. ``(name, email)`` in that order.
+    """
+    for value_l in left_values.get(channel.left_attr, ()):
+        for value_r in right_values.get(channel.right_attr, ()):
+            yield value_l, value_r
+    if channel.is_cross:
+        for value_l in left_values.get(channel.right_attr, ()):
+            for value_r in right_values.get(channel.left_attr, ()):
+                yield value_r, value_l
+
+
+def score_value_pair(channel, value_l: str, value_r: str, floor: float) -> float | None:
+    """Score one value pair against *floor*; ``None`` means prefiltered.
+
+    The contract with the engine: the engine only ever tests
+    ``score >= floor``, so the fast path must return the exact
+    slow-path score whenever the true score reaches *floor* and may
+    return anything strictly below *floor* (or ``None``) otherwise.
+    The upper-bound skip uses a strict ``<`` so a bound that *equals*
+    the floor still runs the comparator.
+    """
+    fast = channel.fast_comparator
+    if fast is None:
+        return channel.comparator(value_l, value_r)
+    left_features = channel.features_left(value_l)
+    right_features = channel.features_right(value_r)
+    upper_bound = channel.score_upper_bound
+    if upper_bound is not None and upper_bound(left_features, right_features) < floor:
+        return None
+    return fast(left_features, right_features, floor)
+
+
+def memoised_score(
+    channel, value_l: str, value_r: str, floor: float, memo: dict
+) -> tuple[float | None, str]:
+    """:func:`score_value_pair` through a per-process memo.
+
+    Entries store ``(floor, score)`` and are reusable at any floor at
+    least as high as the stored one: a stored score at or above its
+    floor is the exact true score, and a stored score (or ``None``)
+    below its floor certifies the true score is below that floor too —
+    both verdicts survive raising the floor. A lookup at a *lower*
+    floor recomputes and the entry is replaced with the lower floor,
+    making it strictly more reusable.
+    """
+    # Class name disambiguates same-named channels of different classes
+    # (PIM's Person.name and Venue.name use different comparators).
+    key = (channel.class_name, channel.name, value_l, value_r)
+    entry = memo.get(key)
+    if entry is not None and entry[0] <= floor:
+        return entry[1], HIT
+    score = score_value_pair(channel, value_l, value_r, floor)
+    memo[key] = (floor, score)
+    return score, (PREFILTERED if score is None else MISS)
+
+
+def pair_evidence(
+    channels,
+    left_values: Mapping[str, tuple[str, ...]],
+    right_values: Mapping[str, tuple[str, ...]],
+    memo: dict,
+    floor: float | None = None,
+    stats=None,
+) -> list[tuple[str, str, str, float]]:
+    """Atomic value evidence for one candidate reference pair.
+
+    Returns ``(channel_name, value_l, value_r, score)`` tuples in the
+    exact order the serial engine would create the value nodes. *floor*
+    is the force-path floor (strong dependencies keep even weak
+    evidence); ``None`` means each channel's liberal threshold applies.
+    *stats*, when given, receives the memo/prefilter counter updates
+    (``pair_memo_hits`` / ``pair_memo_misses`` / ``prefilter_skips``).
+    """
+    evidence: list[tuple[str, str, str, float]] = []
+    for channel in channels:
+        threshold = (
+            channel.liberal_threshold
+            if floor is None
+            else min(channel.liberal_threshold, floor)
+        )
+        for value_l, value_r in channel_value_pairs(channel, left_values, right_values):
+            score, outcome = memoised_score(channel, value_l, value_r, threshold, memo)
+            if stats is not None:
+                if outcome is HIT:
+                    stats.pair_memo_hits += 1
+                else:
+                    stats.pair_memo_misses += 1
+                    if outcome is PREFILTERED:
+                        stats.prefilter_skips += 1
+            if score is not None and score >= threshold:
+                evidence.append((channel.name, value_l, value_r, score))
+    return evidence

@@ -111,6 +111,12 @@ def restore_engine(engine: Reconciler, state: dict) -> None:
     }
     engine._values_cache = {}
     engine._contacts_cache = {}
+    engine._contacts_rdeps = {}
+    engine._pair_score_memo = {}
+    # The restored union-find is a fresh object: re-attach the engine's
+    # cache-invalidation listener (listeners are runtime state and are
+    # deliberately not serialised).
+    engine.uf.add_union_listener(engine._invalidate_contacts)
     engine.stop_reason = state.get("stop_reason", "converged")
     engine._built = state["built"]
     engine._per_class_nodes = {}

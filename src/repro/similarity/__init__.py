@@ -6,8 +6,18 @@ for names, emails, venues, titles and pages, the cross-attribute
 name-vs-email evidence, corpus TF-IDF weighting, and weight learning.
 """
 
+from .caches import clear_similarity_caches, register_cache, registered_caches
 from .corpus import TfIdfCorpus
-from .emails import ParsedEmail, email_similarity, parse_email, same_server
+from .emails import (
+    EmailFeatures,
+    ParsedEmail,
+    email_features,
+    email_similarity,
+    email_similarity_features,
+    email_upper_bound,
+    parse_email,
+    same_server,
+)
 from .name_email import name_email_similarity
 from .names import (
     NameCompat,
@@ -23,6 +33,7 @@ from .strings import (
     containment_similarity,
     damerau_levenshtein_distance,
     damerau_levenshtein_similarity,
+    damerau_levenshtein_within,
     dice_similarity,
     jaccard_similarity,
     jaro_similarity,
@@ -34,12 +45,42 @@ from .strings import (
     ngram_similarity,
     prefix_similarity,
 )
-from .titles import pages_similarity, title_similarity, year_similarity
+from .titles import (
+    TitleFeatures,
+    pages_similarity,
+    title_features,
+    title_similarity,
+    title_similarity_features,
+    title_upper_bound,
+    year_similarity,
+)
 from .tokens import acronym_of, is_acronym_of, normalize, tokenize
-from .venues import venue_name_similarity
+from .venues import (
+    VenueFeatures,
+    venue_features,
+    venue_name_similarity,
+    venue_similarity_features,
+    venue_upper_bound,
+)
 
 __all__ = [
     "TfIdfCorpus",
+    "clear_similarity_caches",
+    "register_cache",
+    "registered_caches",
+    "EmailFeatures",
+    "email_features",
+    "email_similarity_features",
+    "email_upper_bound",
+    "TitleFeatures",
+    "title_features",
+    "title_similarity_features",
+    "title_upper_bound",
+    "VenueFeatures",
+    "venue_features",
+    "venue_similarity_features",
+    "venue_upper_bound",
+    "damerau_levenshtein_within",
     "ParsedEmail",
     "email_similarity",
     "parse_email",

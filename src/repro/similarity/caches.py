@@ -1,0 +1,34 @@
+"""Registry of the similarity layer's memoisation caches.
+
+Comparator modules (and the domain models built on them) wrap hot pure
+functions in ``functools.lru_cache``. A long-lived process — resumed
+runs, benchmark loops, services reconciling many datasets — would
+otherwise accumulate entries for values it will never see again, so
+every such cache registers itself here and
+:func:`clear_similarity_caches` empties them all at once.
+"""
+
+from __future__ import annotations
+
+__all__ = ["register_cache", "clear_similarity_caches", "registered_caches"]
+
+_REGISTRY: list = []
+
+
+def register_cache(cached):
+    """Register an ``lru_cache``-wrapped function (anything exposing
+    ``cache_clear``) for :func:`clear_similarity_caches`; returns it so
+    the call composes with the decorator."""
+    _REGISTRY.append(cached)
+    return cached
+
+
+def registered_caches() -> tuple:
+    return tuple(_REGISTRY)
+
+
+def clear_similarity_caches() -> int:
+    """Empty every registered cache; returns how many were cleared."""
+    for cached in _REGISTRY:
+        cached.cache_clear()
+    return len(_REGISTRY)

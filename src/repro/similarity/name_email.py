@@ -8,14 +8,21 @@ denote one person even though the references share no attribute type.
 
 from __future__ import annotations
 
+import functools
+
+from .caches import register_cache
 from .emails import ParsedEmail, parse_email
 from .names import ParsedName, parse_name
 from .nicknames import all_name_forms
-from .strings import damerau_levenshtein_similarity
+from .strings import damerau_levenshtein_similarity_at_least
 
 __all__ = ["name_email_similarity"]
 
 
+# The same (token, word) pairs recur across every candidate pair that
+# shares a blocking key, and each call runs an edit distance.
+@register_cache
+@functools.lru_cache(maxsize=65536)
 def _account_matches_word(account_token: str, word: str) -> float:
     """Score how well a single account token encodes a single name word."""
     if not account_token or not word:
@@ -28,7 +35,7 @@ def _account_matches_word(account_token: str, word: str) -> float:
         and (word.startswith(account_token) or account_token.startswith(word))
     ):
         return 0.9
-    if damerau_levenshtein_similarity(account_token, word) >= 0.85:
+    if damerau_levenshtein_similarity_at_least(account_token, word, 0.85) >= 0.85:
         return 0.85
     return 0.0
 
@@ -62,7 +69,7 @@ def _score_account_against_name(email: ParsedEmail, name: ParsedName) -> float:
             fused = given[0] + surname
             if account == fused or account == surname + given[0]:
                 candidates.append(0.9)
-            elif damerau_levenshtein_similarity(account, fused) >= 0.85:
+            elif damerau_levenshtein_similarity_at_least(account, fused, 0.85) >= 0.85:
                 candidates.append(0.85)
             # full given + surname fused: "michaelstonebraker". Only a
             # real given name counts — an initial would make this the

@@ -22,7 +22,7 @@ import re
 from dataclasses import dataclass, field
 
 from .nicknames import KNOWN_GIVEN_NAMES, all_name_forms, share_canonical_given_name
-from .strings import damerau_levenshtein_similarity
+from .strings import damerau_levenshtein_similarity_at_least
 from .tokens import normalize
 
 __all__ = ["ParsedName", "NameCompat", "parse_name", "name_compatibility", "name_similarity"]
@@ -142,7 +142,7 @@ def _surnames_agree(left: str, right: str) -> bool:
     right_parts = set(right.split())
     if left_parts & right_parts:
         return True
-    return damerau_levenshtein_similarity(left, right) >= 0.90
+    return damerau_levenshtein_similarity_at_least(left, right, 0.90) >= 0.90
 
 
 def _surnames_conflict(left: str, right: str) -> bool:
@@ -157,7 +157,7 @@ def _surnames_conflict(left: str, right: str) -> bool:
         return False
     if _surnames_agree(left, right):
         return False
-    return damerau_levenshtein_similarity(left, right) < 0.60
+    return damerau_levenshtein_similarity_at_least(left, right, 0.60) < 0.60
 
 
 def _givens_conflict(left: str, right: str) -> bool:
@@ -174,15 +174,13 @@ def _givens_conflict(left: str, right: str) -> bool:
         return left[0] != right[0]
     if _given_names_agree(left, right):
         return False
-    best = 0.0
     for form_l in all_name_forms(left):
         for form_r in all_name_forms(right):
             if form_l[:3] == form_r[:3]:
                 return False
-            best = max(
-                best, damerau_levenshtein_similarity(form_l, form_r)
-            )
-    return best < 0.65
+            if damerau_levenshtein_similarity_at_least(form_l, form_r, 0.65) >= 0.65:
+                return False
+    return True
 
 
 def name_compatibility(left: ParsedName | str, right: ParsedName | str) -> NameCompat:
@@ -226,12 +224,12 @@ def name_compatibility(left: ParsedName | str, right: ParsedName | str) -> NameC
         # the other stays in typo range. A raw-string blend like
         # "Krishnan, Ramesh" vs "Krishnan, Rajesh" (two real people)
         # must NOT qualify even though most characters coincide.
-        if surnames_ok and damerau_levenshtein_similarity(
-            left.given, right.given
+        if surnames_ok and damerau_levenshtein_similarity_at_least(
+            left.given, right.given, 0.80
         ) >= 0.80:
             return NameCompat.SIMILAR
-        if givens_ok and damerau_levenshtein_similarity(
-            left.surname, right.surname
+        if givens_ok and damerau_levenshtein_similarity_at_least(
+            left.surname, right.surname, 0.80
         ) >= 0.80:
             return NameCompat.SIMILAR
         return NameCompat.UNRELATED
@@ -243,14 +241,14 @@ def name_compatibility(left: ParsedName | str, right: ParsedName | str) -> NameC
         # Both lack surnames: compare givens directly.
         if _given_names_agree(left.given, right.given):
             return NameCompat.COMPATIBLE
-        if damerau_levenshtein_similarity(left.given, right.given) >= 0.80:
+        if damerau_levenshtein_similarity_at_least(left.given, right.given, 0.80) >= 0.80:
             return NameCompat.SIMILAR
         return NameCompat.UNRELATED
     if _given_names_agree(mono.given, other.given):
         return NameCompat.COMPATIBLE
     if other.surname and _surnames_agree(mono.given, other.surname):
         return NameCompat.COMPATIBLE
-    if damerau_levenshtein_similarity(mono.raw, other.raw) >= 0.80:
+    if damerau_levenshtein_similarity_at_least(mono.raw, other.raw, 0.80) >= 0.80:
         return NameCompat.SIMILAR
     # A spelled-out mononym that matches neither the given name (after
     # nickname expansion) nor the surname of a *full* name is positive

@@ -9,6 +9,10 @@ Indian names.
 
 from __future__ import annotations
 
+import functools
+
+from .caches import register_cache
+
 __all__ = [
     "canonical_given_names",
     "share_canonical_given_name",
@@ -154,6 +158,8 @@ for _nickname, _formals in NICKNAMES.items():
         _FORMAL_TO_NICKNAMES.setdefault(_formal, set()).add(_nickname)
 
 
+@register_cache
+@functools.lru_cache(maxsize=8192)
 def all_name_forms(name: str) -> frozenset[str]:
     """Every form *name* is known under: itself, its formal expansions,
     and the nicknames of those formals.
@@ -176,6 +182,8 @@ KNOWN_GIVEN_NAMES: frozenset[str] = frozenset(NICKNAMES) | frozenset(
 )
 
 
+@register_cache
+@functools.lru_cache(maxsize=8192)
 def canonical_given_names(name: str) -> frozenset[str]:
     """Return the set of formal given names *name* may stand for.
 
@@ -188,6 +196,8 @@ def canonical_given_names(name: str) -> frozenset[str]:
     return formals | {name}
 
 
+@register_cache
+@functools.lru_cache(maxsize=8192)
 def share_canonical_given_name(left: str, right: str) -> bool:
     """True when the two given names may denote the same formal name.
 

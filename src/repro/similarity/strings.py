@@ -20,8 +20,10 @@ from .tokens import tokenize
 __all__ = [
     "levenshtein_distance",
     "damerau_levenshtein_distance",
+    "damerau_levenshtein_within",
     "levenshtein_similarity",
     "damerau_levenshtein_similarity",
+    "damerau_levenshtein_similarity_at_least",
     "jaro_similarity",
     "jaro_winkler_similarity",
     "ngram_similarity",
@@ -92,6 +94,86 @@ def damerau_levenshtein_distance(left: str, right: str) -> int:
     return table[-1][-1]
 
 
+def damerau_levenshtein_within(left: str, right: str, cutoff: int) -> int | None:
+    """:func:`damerau_levenshtein_distance`, or ``None`` when it
+    exceeds *cutoff*.
+
+    Same optimal-string-alignment metric, but computed with the classic
+    bounded-distance optimisations: shared prefixes and suffixes are
+    stripped first, only the Ukkonen band of width ``2 * cutoff + 1``
+    around the diagonal is filled (a cell (i, j) with ``|i - j| >
+    cutoff`` cannot lie on a path of cost <= cutoff, because the
+    distance is at least ``|i - j|``), and the scan aborts as soon as a
+    whole row exceeds the cutoff (row minima of the table are
+    non-decreasing). Values <= cutoff are exact; anything larger is
+    reported as ``None`` without being computed.
+    """
+    if cutoff < 0:
+        return None
+    if left == right:
+        return 0
+    # Strip the common prefix and suffix: edits only happen in between.
+    len_l, len_r = len(left), len(right)
+    start = 0
+    while start < len_l and start < len_r and left[start] == right[start]:
+        start += 1
+    end = 0
+    while (
+        end < len_l - start
+        and end < len_r - start
+        and left[len_l - 1 - end] == right[len_r - 1 - end]
+    ):
+        end += 1
+    left = left[start : len_l - end]
+    right = right[start : len_r - end]
+    if len(left) < len(right):
+        left, right = right, left
+    rows, cols = len(left), len(right)
+    if rows - cols > cutoff:
+        return None
+    if cols == 0:
+        return rows if rows <= cutoff else None
+    big = cutoff + 1  # out-of-band sentinel: "already too far"
+    prev_prev: list[int] | None = None
+    prev = [j if j <= big else big for j in range(cols + 1)]
+    for i in range(1, rows + 1):
+        ch_l = left[i - 1]
+        lo = i - cutoff if i - cutoff > 1 else 1
+        hi = i + cutoff if i + cutoff < cols else cols
+        current = [big] * (cols + 1)
+        current[0] = i
+        row_min = big
+        for j in range(lo, hi + 1):
+            ch_r = right[j - 1]
+            cost = 0 if ch_l == ch_r else 1
+            best = prev[j - 1] + cost
+            deletion = prev[j] + 1
+            if deletion < best:
+                best = deletion
+            insertion = current[j - 1] + 1
+            if insertion < best:
+                best = insertion
+            if (
+                cost
+                and i > 1
+                and j > 1
+                and ch_l == right[j - 2]
+                and ch_r == left[i - 2]
+            ):
+                transposition = prev_prev[j - 2] + 1
+                if transposition < best:
+                    best = transposition
+            current[j] = best
+            if best < row_min:
+                row_min = best
+        if row_min > cutoff:
+            return None
+        prev_prev = prev
+        prev = current
+    distance = prev[cols]
+    return distance if distance <= cutoff else None
+
+
 def _distance_to_similarity(distance: int, left: str, right: str) -> float:
     longest = max(len(left), len(right))
     if longest == 0:
@@ -109,6 +191,30 @@ def damerau_levenshtein_similarity(left: str, right: str) -> float:
     return _distance_to_similarity(
         damerau_levenshtein_distance(left, right), left, right
     )
+
+
+def damerau_levenshtein_similarity_at_least(
+    left: str, right: str, floor: float
+) -> float:
+    """Threshold-aware :func:`damerau_levenshtein_similarity`.
+
+    Returns the exact similarity whenever it is >= *floor*, and some
+    value < *floor* (usually 0.0) otherwise, so ``sim_at_least(l, r, t)
+    >= t`` is equivalent to ``similarity(l, r) >= t`` while only the
+    Ukkonen band of the edit-distance table is ever filled.
+    """
+    longest = max(len(left), len(right))
+    if longest == 0:
+        return 1.0
+    # similarity >= floor  <=>  distance <= (1 - floor) * longest. The
+    # epsilon guards against 0.999...8 float artifacts truncating away
+    # a boundary distance; an over-wide cutoff is harmless because the
+    # returned distance (and hence similarity) is still exact.
+    cutoff = int((1.0 - floor) * longest + 1e-9)
+    distance = damerau_levenshtein_within(left, right, cutoff)
+    if distance is None:
+        return 0.0
+    return 1.0 - distance / longest
 
 
 def jaro_similarity(left: str, right: str) -> float:

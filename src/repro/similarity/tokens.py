@@ -52,6 +52,8 @@ def strip_accents(text: str) -> str:
     >>> strip_accents("Müller-Gärtner")
     'Muller-Gartner'
     """
+    if text.isascii():
+        return text
     decomposed = unicodedata.normalize("NFKD", text)
     return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
 

@@ -37,6 +37,31 @@ class TestBlockingIndex:
         assert pairs == [("a", "b")]
         assert index.oversized_blocks == 1
 
+    def test_oversized_counter_stable_across_reiterations(self):
+        # Regression: oversized_blocks used to be incremented per
+        # pairs() call, so iterating twice doubled the count.
+        index = BlockingIndex(max_block_size=2)
+        for i in range(5):
+            index.add(f"r{i}", ["huge"])
+        list(index.pairs())
+        list(index.pairs())
+        list(index.pairs())
+        assert index.oversized_blocks == 1
+
+    def test_oversized_counts_distinct_blocks(self):
+        index = BlockingIndex(max_block_size=1)
+        for i in range(3):
+            index.add(f"r{i}", ["big1", "big2"])
+        list(index.pairs())
+        assert index.oversized_blocks == 2
+
+    def test_duplicate_adds_deduplicated(self):
+        index = BlockingIndex()
+        index.add("r1", ["k1", "k1"])
+        index.add("r1", ["k1"])
+        index.add("r2", ["k1"])
+        assert list(index.pairs()) == [("r1", "r2")]
+
     def test_add_and_pairs_incremental(self):
         index = BlockingIndex()
         index.add("r1", ["k1"])

@@ -1,0 +1,324 @@
+"""Tests for the performance layer: feature cache, bounded kernels,
+fast-path comparator exactness, prefilter soundness, and the
+fine-grained contact-cache invalidation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Reconciler, ReferenceStore
+from repro.domains import CoraDomainModel, PimDomainModel
+from repro.perf import FeatureCache, phonetic_profile
+from repro.perf.scoring import memoised_score, score_value_pair
+from repro.similarity import (
+    clear_similarity_caches,
+    email_features,
+    email_similarity,
+    email_similarity_features,
+    email_upper_bound,
+    registered_caches,
+    title_features,
+    title_similarity,
+    title_similarity_features,
+    title_upper_bound,
+    venue_features,
+    venue_name_similarity,
+    venue_similarity_features,
+    venue_upper_bound,
+)
+from repro.similarity.strings import (
+    damerau_levenshtein_distance,
+    damerau_levenshtein_similarity,
+    damerau_levenshtein_similarity_at_least,
+    damerau_levenshtein_within,
+)
+
+from .conftest import example1_references
+
+
+class TestFeatureCache:
+    def test_hit_miss_counting(self):
+        cache = FeatureCache()
+        calls = []
+
+        def compute(value):
+            calls.append(value)
+            return value.upper()
+
+        assert cache.get("k", "a", compute) == "A"
+        assert cache.get("k", "a", compute) == "A"
+        assert cache.get("k", "b", compute) == "B"
+        assert calls == ["a", "b"]
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_kinds_do_not_collide(self):
+        cache = FeatureCache()
+        assert cache.get("upper", "x", str.upper) == "X"
+        assert cache.get("title", "x", str.title) == "X"
+        assert cache.misses == 2
+
+    def test_none_results_are_cached(self):
+        cache = FeatureCache()
+        calls = []
+
+        def compute(value):
+            calls.append(value)
+            return None
+
+        assert cache.get("k", "a", compute) is None
+        assert cache.get("k", "a", compute) is None
+        assert calls == ["a"]
+        assert cache.hits == 1
+
+    def test_clear_and_stats(self):
+        cache = FeatureCache()
+        cache.get("k", "a", str.upper)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] + stats["misses"] == 1
+
+    def test_standard_extractor(self):
+        cache = FeatureCache()
+        extract = cache.extractor("title")
+        features = extract("Query Processing in Databases")
+        assert features == title_features("Query Processing in Databases")
+        assert extract("Query Processing in Databases") is features
+
+    def test_phonetic_profile(self):
+        profile = phonetic_profile("Michael Stonebraker")
+        assert profile.tokens == ("michael", "stonebraker")
+        assert len(profile.soundex_codes) == 2
+        assert len(profile.metaphone_codes) == 2
+        cache = FeatureCache()
+        assert cache.extractor("phonetic")("Michael Stonebraker") == profile
+
+
+class TestBoundedDamerauLevenshtein:
+    @given(
+        st.text(alphabet="abcde ", max_size=12),
+        st.text(alphabet="abcde ", max_size=12),
+        st.integers(0, 14),
+    )
+    @settings(max_examples=400)
+    def test_matches_exact_distance_within_cutoff(self, left, right, cutoff):
+        exact = damerau_levenshtein_distance(left, right)
+        bounded = damerau_levenshtein_within(left, right, cutoff)
+        if exact <= cutoff:
+            assert bounded == exact
+        else:
+            assert bounded is None
+
+    def test_negative_cutoff(self):
+        assert damerau_levenshtein_within("a", "b", -1) is None
+
+    def test_equal_strings(self):
+        assert damerau_levenshtein_within("same", "same", 0) == 0
+
+    @given(
+        st.text(alphabet="abcde", max_size=10),
+        st.text(alphabet="abcde", max_size=10),
+        st.sampled_from([0.0, 0.60, 0.65, 0.80, 0.85, 0.90, 1.0]),
+    )
+    @settings(max_examples=400)
+    def test_similarity_at_least_thresholds(self, left, right, floor):
+        exact = damerau_levenshtein_similarity(left, right)
+        bounded = damerau_levenshtein_similarity_at_least(left, right, floor)
+        if exact >= floor:
+            assert bounded == pytest.approx(exact, abs=1e-12)
+        else:
+            assert bounded < floor
+
+
+def _pim_values():
+    """Realistic value pools: Example 1 plus adversarial variants."""
+    titles, venues, emails = set(), set(), set()
+    for reference in example1_references():
+        titles.update(reference.get("title"))
+        venues.update(reference.values.get("name", ()) if reference.class_name == "Venue" else ())
+        emails.update(reference.values.get("email", ()))
+    titles.update({"", "query", "Distributed query processing", "a b c d e f"})
+    venues.update({"", "SIGMOD", "VLDB", "Proc. ACM SIGMOD", "journal of the acm"})
+    emails.update({"", "not an email", "eugene@berkeley.edu", "e.wong@berkeley.edu",
+                   "stonebraker@mit.edu", "mike@gmail.com"})
+    return sorted(titles), sorted(venues), sorted(emails)
+
+
+_TITLES, _VENUES, _EMAILS = _pim_values()
+_FLOORS = [0.0, 0.02, 0.25, 0.5, 0.8]
+
+
+class TestFastPathExactness:
+    """fast(lf, rf, floor) must equal the slow comparator whenever the
+    slow score clears the floor, and stay below the floor otherwise —
+    the engine only tests ``score >= floor``, so decisions match."""
+
+    @pytest.mark.parametrize("floor", _FLOORS)
+    def test_title(self, floor):
+        for left in _TITLES:
+            for right in _TITLES:
+                slow = title_similarity(left, right)
+                fast = title_similarity_features(
+                    title_features(left), title_features(right), floor
+                )
+                if slow >= floor:
+                    assert fast == pytest.approx(slow, abs=1e-12), (left, right)
+                else:
+                    assert fast < floor, (left, right)
+
+    @pytest.mark.parametrize("floor", _FLOORS)
+    def test_venue(self, floor):
+        for left in _VENUES:
+            for right in _VENUES:
+                slow = venue_name_similarity(left, right)
+                fast = venue_similarity_features(
+                    venue_features(left), venue_features(right), floor
+                )
+                if slow >= floor:
+                    assert fast == pytest.approx(slow, abs=1e-12), (left, right)
+                else:
+                    assert fast < floor, (left, right)
+
+    @pytest.mark.parametrize("floor", _FLOORS)
+    def test_email(self, floor):
+        for left in _EMAILS:
+            for right in _EMAILS:
+                slow = email_similarity(left, right)
+                fast = email_similarity_features(
+                    email_features(left), email_features(right), floor
+                )
+                assert fast == pytest.approx(slow, abs=1e-12), (left, right)
+
+
+class TestUpperBoundSoundness:
+    """A prefilter bound below the true score would silently drop real
+    evidence; these assert bound >= truth on every pair."""
+
+    def test_title_bound(self):
+        for left in _TITLES:
+            for right in _TITLES:
+                bound = title_upper_bound(title_features(left), title_features(right))
+                assert bound >= title_similarity(left, right) - 1e-12, (left, right)
+
+    def test_venue_bound(self):
+        for left in _VENUES:
+            for right in _VENUES:
+                bound = venue_upper_bound(venue_features(left), venue_features(right))
+                assert bound >= venue_name_similarity(left, right) - 1e-12, (left, right)
+
+    def test_email_bound(self):
+        for left in _EMAILS:
+            for right in _EMAILS:
+                bound = email_upper_bound(email_features(left), email_features(right))
+                assert bound >= email_similarity(left, right) - 1e-12, (left, right)
+
+
+class TestChannelPrefilterNeverExcludes:
+    """End-to-end over the wired channels: score_value_pair at each
+    channel's liberal threshold must agree with the slow comparator on
+    every value pair that clears the threshold."""
+
+    @pytest.mark.parametrize("domain_cls", [PimDomainModel, CoraDomainModel])
+    def test_channels(self, domain_cls):
+        domain = domain_cls()
+        pools = {
+            "name": ["Michael Stonebraker", "Stonebraker, M.", "mike",
+                     "Eugene Wong", "Wong, E.", ""],
+            "email": _EMAILS,
+            "title": _TITLES,
+            "pages": ["169-180", "169", "201-210", ""],
+            "year": ["1978", "1979", "2004", ""],
+            "location": ["Austin, Texas", "austin tx", "Paris", ""],
+        }
+        venue_pool = {"name": _VENUES, "year": pools["year"], "location": pools["location"]}
+        for class_name in domain.class_order():
+            for channel in domain.atomic_channels(class_name):
+                left_pool = (venue_pool if class_name == "Venue" else pools)[channel.left_attr]
+                right_pool = (venue_pool if class_name == "Venue" else pools)[channel.right_attr]
+                threshold = channel.liberal_threshold
+                for left in left_pool:
+                    for right in right_pool:
+                        slow = channel.comparator(left, right)
+                        fast = score_value_pair(channel, left, right, threshold)
+                        if slow >= threshold:
+                            assert fast == pytest.approx(slow, abs=1e-12), (
+                                class_name, channel.name, left, right)
+                        else:
+                            assert fast is None or fast < threshold, (
+                                class_name, channel.name, left, right)
+
+
+class TestScoreMemo:
+    def test_memo_reuse_and_floor_semantics(self):
+        domain = PimDomainModel()
+        channel = next(
+            c for c in domain.atomic_channels("Article") if c.name == "title"
+        )
+        memo = {}
+        left, right = "query processing", "query processing systems"
+        score1, outcome1 = memoised_score(channel, left, right, 0.5, memo)
+        score2, outcome2 = memoised_score(channel, left, right, 0.5, memo)
+        assert outcome1 in ("miss", "prefiltered")
+        assert outcome2 == "hit"
+        assert score2 == score1
+        # Raising the floor may reuse the entry; lowering it recomputes.
+        score3, outcome3 = memoised_score(channel, left, right, 0.8, memo)
+        assert outcome3 == "hit"
+        _, outcome4 = memoised_score(channel, left, right, 0.02, memo)
+        assert outcome4 in ("miss", "prefiltered")
+        # After the lower-floor recompute the entry serves both floors.
+        _, outcome5 = memoised_score(channel, left, right, 0.5, memo)
+        assert outcome5 == "hit"
+
+
+class TestRegisteredCaches:
+    def test_clear_similarity_caches(self):
+        # Touch a registered cache so at least one has entries.
+        PimDomainModel()  # ensure the domain module's caches registered
+        title_similarity("a b", "a c")
+        count = clear_similarity_caches()
+        assert count == len(registered_caches())
+        assert count > 0
+        for cached in registered_caches():
+            assert cached.cache_info().currsize == 0
+
+
+class TestContactCacheInvalidation:
+    def test_merge_refreshes_weak_counts(self, example1_store):
+        engine = Reconciler(example1_store, PimDomainModel())
+        engine.build()
+        # Prime the cache for p1/p4 (coAuthor contacts).
+        before_l = engine._contact_roots("p1", "Person")
+        before_r = engine._contact_roots("p4", "Person")
+        assert engine.stats.contacts_cache_misses >= 2
+        assert not (before_l & before_r)
+        # Merge a contact of each side; both cached sets must refresh.
+        assert engine.uf.union("p2", "p5") is not None
+        after_l = engine._contact_roots("p1", "Person")
+        after_r = engine._contact_roots("p4", "Person")
+        assert after_l & after_r, "merged contact must become a common root"
+
+    def test_unrelated_merge_keeps_cache_warm(self, example1_store):
+        engine = Reconciler(example1_store, PimDomainModel())
+        engine.build()
+        engine._contact_roots("p1", "Person")
+        misses = engine.stats.contacts_cache_misses
+        # p7/p8 are unrelated to p1's contacts (p2, p3).
+        assert engine.uf.union("p7", "p8") is not None
+        engine._contact_roots("p1", "Person")
+        assert engine.stats.contacts_cache_misses == misses
+        assert engine.stats.contacts_cache_hits >= 1
+
+    def test_full_run_matches_versioned_cache_semantics(self, example1_store):
+        # The paper's Example 1 end state must be unchanged by the
+        # invalidation rework: all Stonebraker/Wong/Epstein mentions
+        # reconcile, and the two venue mentions do.
+        engine = Reconciler(example1_store, PimDomainModel())
+        result = engine.run()
+        assert engine.uf.connected("p2", "p9")  # mike == Stonebraker
+        assert engine.uf.connected("p3", "p7")  # both Eugene Wongs
+        assert engine.uf.connected("c1", "c2")
+        assert result.completed
