@@ -33,6 +33,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.core import EngineConfig, Reconciler  # noqa: E402
 from repro.datasets import generate_cora_dataset, generate_pim_dataset  # noqa: E402
 from repro.domains import CoraDomainModel, PimDomainModel  # noqa: E402
+from repro.obs import MetricsRegistry, Telemetry, Tracer  # noqa: E402
 from repro.similarity import clear_similarity_caches  # noqa: E402
 
 DATASETS = ["A", "B", "C", "D", "cora"]
@@ -72,7 +73,11 @@ def _measure(name: str, scale: float, workers: int = 1) -> tuple[object, dict]:
     clear_similarity_caches()
     dataset = _generate(name, scale)
     config = EngineConfig(workers=workers) if workers > 1 else EngineConfig()
-    engine = Reconciler(dataset.store, _domain(name), config)
+    # Span tracing + the metrics registry make every row attributable
+    # to a phase (which build stage, which cache) instead of a single
+    # wall-clock number; overhead is a handful of coarse spans.
+    telemetry = Telemetry(tracer=Tracer(), metrics=MetricsRegistry())
+    engine = Reconciler(dataset.store, _domain(name), config, telemetry=telemetry)
     result = engine.run()
     stats = engine.stats
     row = {
@@ -95,8 +100,34 @@ def _measure(name: str, scale: float, workers: int = 1) -> tuple[object, dict]:
         "contacts_cache_hit_rate": _rate(
             stats.contacts_cache_hits, stats.contacts_cache_misses
         ),
+        # Phase-attributed telemetry snapshot: a regression in
+        # total_seconds points at the phase (and cache) that moved.
+        "metrics": {
+            "phase_seconds": telemetry.tracer.phase_timings(),
+            "cache_hit_rates": telemetry.metrics.cache_hit_rates(),
+            "recompute_seconds": _histogram_summary(
+                telemetry.metrics, "repro_recompute_seconds"
+            ),
+            "queue_depth": _histogram_summary(
+                telemetry.metrics, "repro_queue_depth"
+            ),
+        },
     }
     return result, row
+
+
+def _histogram_summary(registry, name: str) -> dict | None:
+    """count/sum/mean of one histogram, or None when it never fired."""
+    if name not in registry:
+        return None
+    histogram = registry.histogram(name)
+    if not histogram.count:
+        return None
+    return {
+        "count": histogram.count,
+        "sum": round(histogram.sum, 6),
+        "mean": round(histogram.sum / histogram.count, 9),
+    }
 
 
 def _block(scale: float) -> dict:

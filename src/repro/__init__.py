@@ -37,6 +37,7 @@ from .core import (
 from .datasets import Dataset, generate_cora_dataset, generate_pim_dataset
 from .domains import CoraDomainModel, PimDomainModel
 from .evaluation import pairwise_scores
+from .obs import Telemetry
 
 __version__ = "1.0.0"
 
@@ -60,5 +61,6 @@ __all__ = [
     "CoraDomainModel",
     "PimDomainModel",
     "pairwise_scores",
+    "Telemetry",
     "__version__",
 ]

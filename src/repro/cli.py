@@ -27,6 +27,14 @@ from .datasets.io import load_dataset, save_dataset
 from .domains import CoraDomainModel, PimDomainModel
 from .evaluation.clustering import bcubed_scores
 from .evaluation.metrics import pairwise_scores
+from .obs import (
+    LEVELS,
+    ProvenanceLog,
+    Telemetry,
+    render_degradations,
+    render_quarantine,
+    render_stats,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -64,6 +72,41 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("directory")
     evaluate.add_argument("--algorithm", choices=["depgraph", "indepdec"],
                           default="depgraph")
+
+    explain = commands.add_parser("explain", help="why were two references merged?")
+    explain.add_argument("directory")
+    explain.add_argument("ref_a")
+    explain.add_argument("ref_b")
+
+    for runner in (reconcile, evaluate, explain):
+        obs = runner.add_argument_group("observability")
+        obs.add_argument(
+            "--log-json", default=None, metavar="PATH",
+            help="write a structured JSONL event stream (run phases, "
+            "degradations, checkpoints) to PATH; append mode, so a "
+            "resumed run continues the same log",
+        )
+        obs.add_argument(
+            "--log-level", default="info", choices=sorted(LEVELS),
+            help="minimum event level for --log-json (default info; debug "
+            "adds per-merge events and iterate progress)",
+        )
+        obs.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write nested timed spans as Chrome trace-event JSON to "
+            "PATH (load in chrome://tracing or Perfetto)",
+        )
+        obs.add_argument(
+            "--metrics", default=None, metavar="PATH", action="append",
+            help="write the metrics registry snapshot to PATH — Prometheus "
+            "text for .prom/.txt paths, JSON otherwise; repeatable to "
+            "export both formats",
+        )
+        obs.add_argument(
+            "--provenance", default=None, metavar="PATH",
+            help="record every merge/non-merge decision (channel scores, "
+            "thresholds, triggering propagation) to a JSONL audit log",
+        )
 
     for runner in (reconcile, evaluate):
         perf = runner.add_argument_group("performance")
@@ -113,11 +156,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tables.add_argument("--scale", type=float, default=1.0)
 
-    explain = commands.add_parser("explain", help="why were two references merged?")
-    explain.add_argument("directory")
-    explain.add_argument("ref_a")
-    explain.add_argument("ref_b")
-
     report = commands.add_parser(
         "report", help="run all experiments and write a markdown report"
     )
@@ -140,15 +178,53 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _run(directory: str, algorithm: str, options=None):
+def _telemetry_from(options, *, force_provenance: bool = False) -> Telemetry | None:
+    """Build the telemetry bundle the CLI flags ask for (or ``None``)."""
+    if options is None:
+        return None
+    log_path = getattr(options, "log_json", None)
+    trace = getattr(options, "trace", None)
+    metrics = getattr(options, "metrics", None)
+    provenance_path = getattr(options, "provenance", None)
+    wants_provenance = force_provenance or provenance_path is not None
+    if not (log_path or trace or metrics or wants_provenance):
+        return None
+    telemetry = Telemetry.enabled(
+        log_path=log_path,
+        log_level=getattr(options, "log_level", "info") or "info",
+        trace=bool(trace),
+        metrics=bool(metrics),
+        provenance=wants_provenance,
+        provenance_path=provenance_path,
+    )
+    return telemetry
+
+
+def _export_telemetry(telemetry: Telemetry | None, options) -> None:
+    """Write the file-backed exports after the run and close sinks."""
+    if telemetry is None:
+        return
+    trace = getattr(options, "trace", None) if options is not None else None
+    if trace and telemetry.tracer is not None:
+        telemetry.tracer.write(trace)
+    metric_paths = getattr(options, "metrics", None) if options is not None else None
+    if metric_paths and telemetry.metrics is not None:
+        for path in metric_paths:
+            telemetry.metrics.write(path)
+    telemetry.close()
+
+
+def _run(directory: str, algorithm: str, options=None, telemetry=None):
     lenient = bool(getattr(options, "lenient", False))
+    if telemetry is None:
+        telemetry = _telemetry_from(options)
     dataset = load_dataset(directory, lenient=lenient)
     if dataset.quarantined:
-        print(
-            f"quarantined {len(dataset.quarantined)} bad records "
-            f"(see quarantine.jsonl)",
-            file=sys.stderr,
-        )
+        print(render_quarantine(dataset.quarantined), file=sys.stderr)
+        if telemetry is not None:
+            telemetry.emit(
+                "warning", "quarantine", records=len(dataset.quarantined)
+            )
     domain = _domain_for(dataset.name)
     config = _config_for(algorithm, domain)
     workers = int(getattr(options, "workers", 1) or 1)
@@ -173,67 +249,43 @@ def _run(directory: str, algorithm: str, options=None):
             checkpointer = Checkpointer(
                 options.checkpoint_dir, every=options.checkpoint_every
             )
+    if telemetry is not None:
+        telemetry.emit(
+            "info",
+            "run_start",
+            dataset=dataset.name,
+            algorithm=algorithm,
+            references=len(dataset.store),
+            workers=workers,
+        )
     resume_path = getattr(options, "resume", None) if options is not None else None
     if resume_path:
         reconciler = Reconciler.resume(
-            resume_path, store=dataset.store, domain=domain, config=config
+            resume_path,
+            store=dataset.store,
+            domain=domain,
+            config=config,
+            telemetry=telemetry,
         )
     else:
-        reconciler = Reconciler(dataset.store, domain, config)
+        reconciler = Reconciler(dataset.store, domain, config, telemetry=telemetry)
     result = reconciler.run(guard=guard, checkpointer=checkpointer)
-    if not result.completed:
-        print(f"run degraded: stop_reason={result.stop_reason}", file=sys.stderr)
-        for event in result.degradations:
-            print(f"  [{event.kind}] {event.detail}", file=sys.stderr)
+    degraded = render_degradations(result)
+    if degraded:
+        print(degraded, file=sys.stderr)
+    if telemetry is not None:
+        telemetry.emit(
+            "info",
+            "run_end",
+            completed=result.completed,
+            stop_reason=result.stop_reason,
+            merges=reconciler.stats.merges,
+            recomputations=reconciler.stats.recomputations,
+        )
+        _export_telemetry(telemetry, options)
     if options is not None and getattr(options, "stats", False):
-        _print_stats(reconciler.stats)
+        print(render_stats(reconciler.stats), file=sys.stderr)
     return dataset, reconciler, result
-
-
-def _hit_rate(hits: int, misses: int) -> str:
-    total = hits + misses
-    if not total:
-        return "n/a"
-    return f"{hits / total:.1%} ({hits}/{total})"
-
-
-def _print_stats(stats) -> None:
-    """Engine statistics, including cache effectiveness, on stderr."""
-    err = sys.stderr
-    print("engine stats:", file=err)
-    print(
-        f"  build {stats.build_seconds:.2f}s, iterate {stats.iterate_seconds:.2f}s "
-        f"(workers={stats.parallel_workers})",
-        file=err,
-    )
-    print(
-        f"  candidate_pairs={stats.candidate_pairs} pair_nodes={stats.pair_nodes} "
-        f"value_nodes={stats.value_nodes} graph_nodes={stats.graph_nodes}",
-        file=err,
-    )
-    print(
-        f"  recomputations={stats.recomputations} merges={stats.merges} "
-        f"non_merges={stats.non_merges} fusions={stats.fusions}",
-        file=err,
-    )
-    print("  cache effectiveness:", file=err)
-    print(
-        f"    values cache   {_hit_rate(stats.values_cache_hits, stats.values_cache_misses)}",
-        file=err,
-    )
-    print(
-        f"    contacts cache {_hit_rate(stats.contacts_cache_hits, stats.contacts_cache_misses)}",
-        file=err,
-    )
-    print(
-        f"    feature cache  {_hit_rate(stats.feature_cache_hits, stats.feature_cache_misses)}",
-        file=err,
-    )
-    print(
-        f"    pair-score memo {_hit_rate(stats.pair_memo_hits, stats.pair_memo_misses)}, "
-        f"prefilter skips {stats.prefilter_skips}",
-        file=err,
-    )
 
 
 def _cmd_reconcile(args) -> int:
@@ -307,7 +359,13 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    dataset, reconciler, _ = _run(args.directory, "depgraph")
+    # Always record provenance for explain: the explanation replays
+    # the engine's actual decision records instead of recomputing
+    # similarities against post-hoc cluster state.
+    telemetry = _telemetry_from(args, force_provenance=True)
+    if telemetry is None:  # pragma: no cover - force_provenance guarantees it
+        telemetry = Telemetry(provenance=ProvenanceLog())
+    dataset, reconciler, _ = _run(args.directory, "depgraph", args, telemetry)
     if args.ref_a not in dataset.store or args.ref_b not in dataset.store:
         print("unknown reference id", file=sys.stderr)
         return 2

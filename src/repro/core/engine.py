@@ -27,6 +27,7 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..perf.parallel import ParallelScorer
 from ..perf.scoring import channel_value_pairs, pair_evidence
 from ..runtime.errors import BudgetExceeded, DeadlineExceeded, GuardTripped, QueueEmpty
@@ -44,6 +45,9 @@ __all__ = ["Reconciler", "EngineStats"]
 
 # Guard against pathological weak-edge fan-out (popular contacts).
 _MAX_WEAK_FANOUT = 20_000
+
+# Iterate steps per progress event / trace chunk when telemetry is on.
+_ITERATE_CHUNK = 1_000
 
 
 @dataclass
@@ -92,10 +96,16 @@ class Reconciler:
         store: ReferenceStore,
         domain: DomainModel,
         config: EngineConfig | None = None,
+        *,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.store = store
         self.domain = domain
         self.config = config or EngineConfig()
+        # Observability sinks; the shared null object costs one
+        # attribute read per instrumented block and keeps partitions
+        # byte-identical with telemetry on or off.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.graph = DependencyGraph()
         self.uf = UnionFind()
         self.queue = ActiveQueue()
@@ -228,32 +238,46 @@ class Reconciler:
     def build(self) -> None:
         """Construct the dependency graph (two passes of §3.1)."""
         started = time.perf_counter()
-        self.store.validate()
-        if self.config.premerge_keys:
-            self._premerge_by_keys()
-        self._register_members()
-        class_order = self.domain.class_order()
-        per_class_nodes: dict[str, list[PairNode]] = {}
-        scorer = self._make_scorer()
-        try:
+        tel = self.telemetry
+        tel.emit("info", "build_start", references=len(self.store))
+        with tel.span("build"):
+            self.store.validate()
+            if self.config.premerge_keys:
+                with tel.span("premerge"):
+                    self._premerge_by_keys()
+            self._register_members()
+            class_order = self.domain.class_order()
+            per_class_nodes: dict[str, list[PairNode]] = {}
+            scorer = self._make_scorer()
+            try:
+                for class_name in class_order:
+                    with tel.span(f"build_class:{class_name}", class_name=class_name):
+                        per_class_nodes[class_name] = self._build_class_nodes(
+                            class_name, scorer=scorer
+                        )
+                    tel.emit(
+                        "debug",
+                        "build_phase",
+                        phase=f"class:{class_name}",
+                        nodes=len(per_class_nodes[class_name]),
+                    )
+            finally:
+                if scorer is not None:
+                    scorer.shutdown()
+            self._per_class_nodes = per_class_nodes
+            with tel.span("wire_association"):
+                self._wire_association_edges(per_class_nodes)
+            with tel.span("wire_weak"):
+                self._wire_weak_edges(per_class_nodes)
+            if self.config.constraints:
+                with tel.span("constraints"):
+                    self._install_distinct_pairs()
+            # Seed the queue: class order already respects "values before
+            # the references that depend on them".
             for class_name in class_order:
-                per_class_nodes[class_name] = self._build_class_nodes(
-                    class_name, scorer=scorer
-                )
-        finally:
-            if scorer is not None:
-                scorer.shutdown()
-        self._per_class_nodes = per_class_nodes
-        self._wire_association_edges(per_class_nodes)
-        self._wire_weak_edges(per_class_nodes)
-        if self.config.constraints:
-            self._install_distinct_pairs()
-        # Seed the queue: class order already respects "values before
-        # the references that depend on them".
-        for class_name in class_order:
-            for node in per_class_nodes[class_name]:
-                if node.status is NodeStatus.ACTIVE:
-                    self.queue.push_back(node.key)
+                for node in per_class_nodes[class_name]:
+                    if node.status is NodeStatus.ACTIVE:
+                        self.queue.push_back(node.key)
         self.stats.pair_nodes = self.graph.pair_nodes_created
         self.stats.value_nodes = self.graph.value_nodes_created
         self.stats.graph_nodes = self.graph.node_count()
@@ -263,7 +287,7 @@ class Reconciler:
         self.stats.build_seconds = time.perf_counter() - started
         self._sync_feature_cache_stats()
         if self.stats.skipped_weak_fanout:
-            self.stats.degradations.append(
+            self._degrade(
                 DegradationEvent(
                     kind="weak_fanout",
                     detail=(
@@ -272,7 +296,21 @@ class Reconciler:
                     ),
                 )
             )
+        tel.emit(
+            "info",
+            "build_end",
+            seconds=round(self.stats.build_seconds, 6),
+            candidate_pairs=self.stats.candidate_pairs,
+            pair_nodes=self.stats.pair_nodes,
+            value_nodes=self.stats.value_nodes,
+            queued=len(self.queue),
+        )
         self._built = True
+
+    def _degrade(self, event: DegradationEvent) -> None:
+        """Record a degradation in the stats *and* the event stream."""
+        self.stats.degradations.append(event)
+        self.telemetry.emit("warning", "degradation", kind=event.kind, detail=event.detail)
 
     def _premerge_by_keys(self) -> None:
         """§3.4's cheap pre-processing: union references that share a
@@ -303,7 +341,7 @@ class Reconciler:
         try:
             scorer = ParallelScorer(self.domain, self.config.workers)
         except Exception as exc:
-            self.stats.degradations.append(
+            self._degrade(
                 DegradationEvent(
                     kind="parallel_fallback",
                     detail=f"serial build: {exc}",
@@ -370,7 +408,7 @@ class Reconciler:
         try:
             return scorer.score(class_name, channel_names, pair_list, values)
         except Exception as exc:
-            self.stats.degradations.append(
+            self._degrade(
                 DegradationEvent(
                     kind="parallel_fallback",
                     detail=f"class {class_name} scored serially: {exc}",
@@ -579,14 +617,43 @@ class Reconciler:
         self.stop_reason = "converged"
         trip: GuardTripped | None = None
         step = 0
+        tel = self.telemetry
+        # Per-step instrumentation is resolved once, outside the loop:
+        # with telemetry off every extra is None and the loop body is
+        # the exact pre-observability code path.
+        instrumented = tel.active
+        recompute_hist = queue_hist = None
+        tracer = None
+        chunk_start = 0.0
+        chunk_step = chunk_merges = 0
+        if instrumented:
+            tel.emit("info", "iterate_start", queued=len(self.queue))
+            if tel.metrics is not None:
+                from ..obs.metrics import DEPTH_BUCKETS
+
+                recompute_hist = tel.metrics.histogram(
+                    "repro_recompute_seconds", "per-node recomputation latency"
+                )
+                queue_hist = tel.metrics.histogram(
+                    "repro_queue_depth",
+                    "active-queue depth sampled at each pop",
+                    buckets=DEPTH_BUCKETS,
+                )
+            tracer = tel.tracer
+            if tracer is not None:
+                chunk_start = tracer.now()
+                iterate_offset = chunk_start
+                chunk_merges = self.stats.merges
         if checkpointer is not None:
             # Always leave at least one checkpoint behind, even if the
             # run dies on its very first step.
-            checkpointer.maybe_save(self, 0)
+            if checkpointer.maybe_save(self, 0) is not None:
+                tel.emit("info", "checkpoint_saved", step=0)
+                tel.instant("checkpoint", step=0)
         while self.queue:
             if budget is not None and self.stats.recomputations >= budget:
                 self.stop_reason = "budget"
-                self.stats.degradations.append(
+                self._degrade(
                     DegradationEvent(
                         kind="budget",
                         detail=(
@@ -606,7 +673,8 @@ class Reconciler:
                     )
                 except (BudgetExceeded, DeadlineExceeded) as exc:
                     self.stop_reason = exc.event.kind if exc.event else "guard"
-                    self.stats.degradations.append(exc.event)
+                    if exc.event is not None:
+                        self._degrade(exc.event)
                     trip = exc
                     break
             if step_hook is not None:
@@ -619,15 +687,76 @@ class Reconciler:
             if node is None or node.status is not NodeStatus.ACTIVE:
                 continue
             node.status = NodeStatus.INACTIVE
-            self._process(node)
+            if instrumented:
+                if queue_hist is not None:
+                    queue_hist.observe(len(self.queue) + 1)
+                    step_started = time.perf_counter()
+                self._process(node)
+                if recompute_hist is not None:
+                    recompute_hist.observe(time.perf_counter() - step_started)
+                if step % _ITERATE_CHUNK == _ITERATE_CHUNK - 1:
+                    tel.emit(
+                        "debug",
+                        "iterate_progress",
+                        step=step + 1,
+                        queued=len(self.queue),
+                        merges=self.stats.merges,
+                        recomputations=self.stats.recomputations,
+                    )
+                    if tracer is not None:
+                        now = tracer.now()
+                        tracer.complete(
+                            "iterate_chunk",
+                            chunk_start,
+                            now - chunk_start,
+                            from_step=chunk_step,
+                            to_step=step + 1,
+                            merges=self.stats.merges - chunk_merges,
+                        )
+                        chunk_start = now
+                        chunk_step = step + 1
+                        chunk_merges = self.stats.merges
+            else:
+                self._process(node)
             step += 1
             if checkpointer is not None:
-                checkpointer.maybe_save(self, step)
+                if checkpointer.maybe_save(self, step) is not None:
+                    tel.emit("info", "checkpoint_saved", step=step)
+                    tel.instant("checkpoint", step=step)
+        if tracer is not None:
+            if step > chunk_step:
+                tracer.complete(
+                    "iterate_chunk",
+                    chunk_start,
+                    tracer.now() - chunk_start,
+                    from_step=chunk_step,
+                    to_step=step,
+                    merges=self.stats.merges - chunk_merges,
+                )
+            tracer.complete(
+                "iterate",
+                iterate_offset,
+                tracer.now() - iterate_offset,
+                steps=step,
+                stop_reason=self.stop_reason,
+            )
         self.stats.iterate_seconds += time.perf_counter() - started
         self.stats.queue_front_pushes = self.queue.pushed_front
         self.stats.queue_back_pushes = self.queue.pushed_back
         self.stats.fusions = self.graph.fusions
         self._sync_feature_cache_stats()
+        if instrumented:
+            tel.emit(
+                "info",
+                "iterate_end",
+                stop_reason=self.stop_reason,
+                steps=step,
+                seconds=round(self.stats.iterate_seconds, 6),
+                merges=self.stats.merges,
+                non_merges=self.stats.non_merges,
+            )
+            if tel.metrics is not None:
+                tel.metrics.absorb_stats(self.stats)
         if trip is not None and raise_on_trip:
             raise trip
         return self._result()
@@ -640,6 +769,7 @@ class Reconciler:
         store: ReferenceStore,
         domain: DomainModel,
         config: EngineConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> "Reconciler":
         """Rebuild an engine from a checkpoint written during a run.
 
@@ -648,24 +778,57 @@ class Reconciler:
         mismatch). Calling :meth:`run` on the returned engine continues
         from the checkpointed step and — because iteration is
         deterministic — converges to the same partition an
-        uninterrupted run would have produced.
+        uninterrupted run would have produced. *telemetry* is fresh
+        runtime state, never part of the checkpoint: file-backed sinks
+        open in append mode, so the continued run extends the original
+        run's event log and audit trail coherently.
         """
         from ..runtime.checkpoint import load_checkpoint, restore_engine
 
-        engine = cls(store, domain, config)
+        engine = cls(store, domain, config, telemetry=telemetry)
         restore_engine(engine, load_checkpoint(path))
+        engine.telemetry.emit(
+            "info",
+            "resume",
+            checkpoint=str(path),
+            recomputations=engine.stats.recomputations,
+            merges=engine.stats.merges,
+        )
         return engine
 
     def _process(self, node: PairNode) -> None:
+        prov = self.telemetry.provenance
         if self.uf.connected(node.left, node.right):
             node.status = NodeStatus.MERGED
             node.score = 1.0
+            if prov is not None:
+                trigger, trigger_pair = prov.take_activation(node.key)
+                prov.record(
+                    pair=node.key,
+                    class_name=node.class_name,
+                    decision="transitive_merge",
+                    score=1.0,
+                    threshold=self.domain.merge_threshold(node.class_name),
+                    trigger=trigger,
+                    trigger_pair=trigger_pair,
+                    recompute_index=node.recompute_count,
+                )
             return
         old_score = node.score
-        new_score = self._compute(node)
+        capture: dict | None = {} if prov is not None else None
+        new_score = self._compute(node, capture)
         node.recompute_count += 1
         self.stats.recomputations += 1
         if new_score is None:  # marked non-merge by a conflict
+            if prov is not None:
+                self._record_decision(
+                    prov,
+                    node,
+                    capture,
+                    "transitive_merge"
+                    if node.status is NodeStatus.MERGED
+                    else "non_merge_conflict",
+                )
             return
         # Monotone by construction; the max() enforces the §3.2
         # termination requirement even for imperfect domain functions.
@@ -673,12 +836,50 @@ class Reconciler:
         increased = node.score > old_score + self.config.epsilon
         if node.score >= self.domain.merge_threshold(node.class_name):
             self._merge(node)
-        elif increased and self.config.propagate:
-            for neighbour in self.graph.real_out_nodes(node):
-                self._activate(neighbour, front=False)
+            if prov is not None:
+                self._record_decision(
+                    prov,
+                    node,
+                    capture,
+                    "merge" if node.status is NodeStatus.MERGED else "non_merge_enemy",
+                )
+        else:
+            if increased and self.config.propagate:
+                for neighbour in self.graph.real_out_nodes(node):
+                    self._activate(neighbour, front=False, cause="real", source=node)
+            if prov is not None:
+                self._record_decision(prov, node, capture, "defer")
 
-    def _compute(self, node: PairNode) -> float | None:
-        """S = S_rv + S_sb + S_wb (§4); None when marked non-merge."""
+    def _record_decision(
+        self, prov, node: PairNode, capture: dict | None, decision: str
+    ) -> None:
+        """Append one audit record for the decision just taken."""
+        capture = capture or {}
+        trigger, trigger_pair = prov.take_activation(node.key)
+        prov.record(
+            pair=node.key,
+            class_name=node.class_name,
+            decision=decision,
+            score=node.score,
+            threshold=self.domain.merge_threshold(node.class_name),
+            s_rv=capture.get("s_rv", 0.0),
+            t_rv=self.domain.t_rv(node.class_name),
+            strong_support=capture.get("strong", 0),
+            weak_support=capture.get("weak", 0),
+            channels=capture.get("channels", {}),
+            trigger=trigger,
+            trigger_pair=trigger_pair,
+            recompute_index=node.recompute_count,
+        )
+
+    def _compute(self, node: PairNode, capture: dict | None = None) -> float | None:
+        """S = S_rv + S_sb + S_wb (§4); None when marked non-merge.
+
+        *capture*, when given (provenance enabled), is filled with the
+        evidence the decision rested on — channel scores, S_rv and the
+        boolean supports actually used — without computing anything the
+        plain path would not.
+        """
         config = self.config
         domain = self.domain
         left_values = self._element_values(node.left)
@@ -686,6 +887,8 @@ class Reconciler:
         if config.constraints and domain.conflict(
             node.class_name, left_values, right_values
         ):
+            if capture is not None:
+                capture["conflict"] = True
             return self._mark_non_merge(node)
         evidence: dict[str, float] = {}
         key_match = False
@@ -706,6 +909,7 @@ class Reconciler:
                 evidence[channel.name] = score
         s_rv = 1.0 if key_match else domain.rv_score(node.class_name, evidence)
         total = s_rv
+        strong = weak = 0
         if s_rv >= domain.t_rv(node.class_name) and domain.boolean_evidence_allowed(
             node.class_name, left_values, right_values
         ):
@@ -716,6 +920,11 @@ class Reconciler:
                 weak = self._weak_count(node)
                 if weak:
                     total += domain.gamma(node.class_name) * weak
+        if capture is not None:
+            capture["channels"] = dict(evidence)
+            capture["s_rv"] = s_rv
+            capture["strong"] = strong
+            capture["weak"] = weak
         return min(total, 1.0)
 
     def _assoc_score(self, node: PairNode, channel) -> float | None:
@@ -789,6 +998,14 @@ class Reconciler:
             return None
         node.status = NodeStatus.NON_MERGE
         self.stats.non_merges += 1
+        self.telemetry.emit(
+            "debug",
+            "non_merge",
+            left=node.left,
+            right=node.right,
+            class_name=node.class_name,
+            reason="conflict",
+        )
         try:
             self.uf.add_enemy(node.left, node.right)
         except ConstraintViolation:  # pragma: no cover - guarded above
@@ -810,6 +1027,14 @@ class Reconciler:
         absorbed = right_root if survivor == left_root else left_root
         node.status = NodeStatus.MERGED
         self.stats.merges += 1
+        self.telemetry.emit(
+            "debug",
+            "merge",
+            left=node.left,
+            right=node.right,
+            class_name=node.class_name,
+            score=round(node.score, 6),
+        )
         if self.config.propagate:
             self._propagate_merge(node)
         if self.config.enrich:
@@ -817,17 +1042,34 @@ class Reconciler:
 
     def _propagate_merge(self, node: PairNode) -> None:
         for neighbour in self.graph.strong_out_nodes(node):
-            self._activate(neighbour, front=self.config.strong_to_front)
+            self._activate(
+                neighbour,
+                front=self.config.strong_to_front,
+                cause="strong",
+                source=node,
+            )
         for neighbour in self.graph.weak_out_nodes(node):
-            self._activate(neighbour, front=False)
+            self._activate(neighbour, front=False, cause="weak", source=node)
         for neighbour in self.graph.real_out_nodes(node):
-            self._activate(neighbour, front=False)
+            self._activate(neighbour, front=False, cause="real", source=node)
 
-    def _activate(self, node: PairNode, *, front: bool) -> None:
+    def _activate(
+        self,
+        node: PairNode,
+        *,
+        front: bool,
+        cause: str = "seed",
+        source: PairNode | None = None,
+    ) -> None:
         if node.status in (NodeStatus.MERGED, NodeStatus.NON_MERGE):
             return
         if node.score >= 1.0:
             return
+        prov = self.telemetry.provenance
+        if prov is not None:
+            prov.note_activation(
+                node.key, cause, source.key if source is not None else None
+            )
         node.status = NodeStatus.ACTIVE
         if front:
             self.queue.push_front(node.key)
@@ -850,7 +1092,7 @@ class Reconciler:
                 self._propagate_merge(intra_node)
         for fused_node in report.reactivate:
             self.graph.drop_self_references(fused_node)
-            self._activate(fused_node, front=False)
+            self._activate(fused_node, front=False, cause="fusion")
 
     # ------------------------------------------------------------------
     # result

@@ -6,6 +6,14 @@ Trust in an entity-resolution system comes from inspectable decisions.
 connecting two references and the evidence each decision rested on —
 the attribute values that matched, the strong-boolean implications
 (shared articles) and the weak-boolean support (common contacts).
+
+When the engine ran with a merge-provenance audit log
+(:class:`~repro.obs.provenance.ProvenanceLog`), each step *replays the
+actual decision record* — the channel scores, threshold, boolean
+supports and triggering propagation the engine saw at decision time —
+instead of recomputing similarities against post-hoc cluster state.
+Non-merged pairs get their last decision record too: what the score
+was, how far below the threshold it stayed, and what evidence existed.
 """
 
 from __future__ import annotations
@@ -31,6 +39,14 @@ class MergeStep:
     evidence: dict[str, tuple[str, str, float]] = field(default_factory=dict)
     strong_support: int = 0
     weak_support: int = 0
+    #: provenance replay fields (``None`` when no audit log was kept):
+    #: the propagation that triggered the deciding recomputation and
+    #: the pair whose merge propagated it.
+    trigger: str | None = None
+    trigger_pair: tuple[str, str] | None = None
+    #: True when the step replays a recorded decision rather than
+    #: recomputing against the finished engine.
+    from_record: bool = False
 
     def describe(self) -> str:
         parts = [
@@ -42,6 +58,15 @@ class MergeStep:
             parts.append(f"    + {self.strong_support} reconciled association(s)")
         if self.weak_support:
             parts.append(f"    + {self.weak_support} common contact(s)")
+        if self.trigger is not None and self.trigger != "seed":
+            via = (
+                f" of {self.trigger_pair[0]} == {self.trigger_pair[1]}"
+                if self.trigger_pair
+                else ""
+            )
+            parts.append(f"    triggered by {self.trigger} propagation{via}")
+        if self.from_record:
+            parts.append("    [replayed from decision record]")
         return "\n".join(parts)
 
 
@@ -53,13 +78,37 @@ class MergeExplanation:
     target: str
     connected: bool
     steps: tuple[MergeStep, ...] = ()
+    #: for non-reconciled pairs with an audit log: the last recorded
+    #: decision about the pair (why it stayed apart), as a dict.
+    last_decision: dict | None = None
 
     def describe(self) -> str:
         if not self.connected:
-            return f"{self.source} and {self.target} were NOT reconciled"
+            lines = [f"{self.source} and {self.target} were NOT reconciled"]
+            if self.last_decision is not None:
+                record = self.last_decision
+                lines.append(
+                    f"  last decision: {record['decision']} at score "
+                    f"{record['score']:.2f} (threshold {record['threshold']:.2f})"
+                )
+                for channel, score in sorted(record.get("channels", {}).items()):
+                    lines.append(f"    {channel}: {score:.2f}")
+                if record.get("strong_support"):
+                    lines.append(
+                        f"    + {record['strong_support']} reconciled association(s)"
+                    )
+                if record.get("weak_support"):
+                    lines.append(f"    + {record['weak_support']} common contact(s)")
+                lines.append("  [replayed from decision record]")
+            return "\n".join(lines)
         lines = [f"{self.source} == {self.target} via {len(self.steps)} decision(s):"]
         lines.extend(step.describe() for step in self.steps)
         return "\n".join(lines)
+
+
+def _provenance_of(reconciler: Reconciler):
+    telemetry = getattr(reconciler, "telemetry", None)
+    return getattr(telemetry, "provenance", None)
 
 
 def _step_from_node(reconciler: Reconciler, node) -> MergeStep:
@@ -68,6 +117,23 @@ def _step_from_node(reconciler: Reconciler, node) -> MergeStep:
         best = max(value_nodes, key=lambda vn: vn.score, default=None)
         if best is not None:
             evidence[channel] = (best.left_value, best.right_value, best.score)
+    prov = _provenance_of(reconciler)
+    record = prov.merge_record(node.left, node.right) if prov is not None else None
+    if record is not None:
+        # Replay the audited decision: supports, score and trigger as
+        # the engine saw them when it merged — not post-hoc state.
+        return MergeStep(
+            left=node.left,
+            right=node.right,
+            class_name=node.class_name,
+            score=record.score,
+            evidence=evidence,
+            strong_support=record.strong_support,
+            weak_support=record.weak_support,
+            trigger=record.trigger,
+            trigger_pair=record.trigger_pair,
+            from_record=True,
+        )
     return MergeStep(
         left=node.left,
         right=node.right,
@@ -86,11 +152,25 @@ def explain_merge(reconciler: Reconciler, source: str, target: str) -> MergeExpl
     dependency graph restricted to the pair's cluster, so the returned
     steps form a shortest chain of actual merge decisions. Pre-merged
     references (key agreement before graph construction) contribute a
-    synthetic "key" step.
+    synthetic "key" step. With a provenance log attached to the
+    engine, every step replays its recorded decision, and a
+    non-reconciled pair reports its last recorded decision.
     """
     uf = reconciler.uf
     if not uf.connected(source, target):
-        return MergeExplanation(source=source, target=target, connected=False)
+        prov = _provenance_of(reconciler)
+        last = None
+        if prov is not None:
+            record = prov.last_decision(source, target)
+            if record is None:
+                # The raw pair may never have formed a node (enrich
+                # mode keys nodes by cluster roots): try the roots.
+                record = prov.last_decision(uf.find(source), uf.find(target))
+            if record is not None:
+                last = record.to_dict()
+        return MergeExplanation(
+            source=source, target=target, connected=False, last_decision=last
+        )
     if source == target:
         return MergeExplanation(source=source, target=target, connected=True)
 

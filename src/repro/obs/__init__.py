@@ -1,0 +1,65 @@
+"""Observability: structured logs, span traces, metrics, provenance.
+
+Four sinks behind one :class:`Telemetry` facade, threaded through the
+engine, perf and runtime subsystems:
+
+* :mod:`~repro.obs.events` — a levelled JSONL event stream
+  (``--log-json`` / ``--log-level``),
+* :mod:`~repro.obs.tracing` — nested timed spans exported as Chrome
+  trace-event JSON (``--trace``, loads in Perfetto),
+* :mod:`~repro.obs.metrics` — a counters/gauges/histograms registry
+  absorbing :class:`~repro.core.engine.EngineStats`, exported as JSON
+  or Prometheus text (``--metrics``),
+* :mod:`~repro.obs.provenance` — the merge-provenance audit log every
+  ``explain`` replay runs from (``--provenance``).
+
+Everything is disabled by default: the engine holds the shared
+:data:`NULL_TELEMETRY` null object and its instrumented paths cost
+one attribute read when no sink is attached. Telemetry is strictly
+observational — partitions are byte-identical with it on or off, and
+none of its state (timestamps, span ids, record sequence numbers)
+enters checkpoints or their fingerprints.
+"""
+
+from .events import LEVELS, EventLog
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .provenance import DecisionRecord, ProvenanceLog
+from .render import hit_rate, render_degradations, render_quarantine, render_stats
+from .schemas import (
+    SchemaError,
+    parse_prometheus,
+    validate_chrome_trace,
+    validate_event,
+    validate_event_log,
+    validate_decision,
+    validate_metrics_snapshot,
+    validate_provenance_jsonl,
+)
+from .telemetry import NULL_TELEMETRY, Telemetry
+from .tracing import Tracer
+
+__all__ = [
+    "LEVELS",
+    "EventLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DecisionRecord",
+    "ProvenanceLog",
+    "hit_rate",
+    "render_degradations",
+    "render_quarantine",
+    "render_stats",
+    "SchemaError",
+    "parse_prometheus",
+    "validate_chrome_trace",
+    "validate_event",
+    "validate_event_log",
+    "validate_decision",
+    "validate_metrics_snapshot",
+    "validate_provenance_jsonl",
+    "NULL_TELEMETRY",
+    "Telemetry",
+    "Tracer",
+]

@@ -1,0 +1,67 @@
+"""Human-readable renderers over telemetry snapshots.
+
+The CLI's ``--stats`` output and degradation notices used to be
+ad-hoc ``print(..., file=sys.stderr)`` calls; they are now pure
+functions from engine state / metrics snapshots to text, so the same
+data renders identically whether it comes from a live run, a metrics
+JSON file, or a test. The ``--stats`` format is kept byte-stable with
+the pre-observability output.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "hit_rate",
+    "render_stats",
+    "render_degradations",
+    "render_quarantine",
+]
+
+
+def hit_rate(hits: int, misses: int) -> str:
+    """``"62.5% (5/8)"`` or ``"n/a"`` for an untouched cache."""
+    total = hits + misses
+    if not total:
+        return "n/a"
+    return f"{hits / total:.1%} ({hits}/{total})"
+
+
+def render_stats(stats) -> str:
+    """The ``--stats`` block from an :class:`~repro.core.engine.EngineStats`."""
+    lines = [
+        "engine stats:",
+        f"  build {stats.build_seconds:.2f}s, iterate {stats.iterate_seconds:.2f}s "
+        f"(workers={stats.parallel_workers})",
+        f"  candidate_pairs={stats.candidate_pairs} pair_nodes={stats.pair_nodes} "
+        f"value_nodes={stats.value_nodes} graph_nodes={stats.graph_nodes}",
+        f"  recomputations={stats.recomputations} merges={stats.merges} "
+        f"non_merges={stats.non_merges} fusions={stats.fusions}",
+        "  cache effectiveness:",
+        f"    values cache   {hit_rate(stats.values_cache_hits, stats.values_cache_misses)}",
+        f"    contacts cache {hit_rate(stats.contacts_cache_hits, stats.contacts_cache_misses)}",
+        f"    feature cache  {hit_rate(stats.feature_cache_hits, stats.feature_cache_misses)}",
+        f"    pair-score memo {hit_rate(stats.pair_memo_hits, stats.pair_memo_misses)}, "
+        f"prefilter skips {stats.prefilter_skips}",
+    ]
+    return "\n".join(lines)
+
+
+def render_degradations(result) -> str:
+    """The stderr notice for a degraded run (empty string when clean)."""
+    if result.completed and not result.degradations:
+        return ""
+    lines = []
+    if not result.completed:
+        lines.append(f"run degraded: stop_reason={result.stop_reason}")
+    for event in result.degradations:
+        lines.append(f"  [{event.kind}] {event.detail}")
+    return "\n".join(lines)
+
+
+def render_quarantine(quarantined) -> str:
+    """The lenient-ingestion notice (empty string when nothing was)."""
+    if not quarantined:
+        return ""
+    return (
+        f"quarantined {len(quarantined)} bad records (see quarantine.jsonl)"
+    )

@@ -1,0 +1,286 @@
+"""Schemas and validators for every telemetry artifact.
+
+Pure-python structural validation (no external JSON-Schema dependency)
+for the four machine-readable outputs:
+
+* the JSONL **event log** (``--log-json``),
+* the **Chrome trace** file (``--trace``),
+* the **metrics snapshot** JSON and the **Prometheus text** export
+  (``--metrics``),
+* the **provenance** decision records (``--provenance`` / ``explain``).
+
+Each ``validate_*`` raises :class:`SchemaError` naming the offending
+field; CI's observability smoke job runs them against real run output
+so schema drift fails the build instead of silently breaking
+downstream consumers. The ``*_SCHEMA`` dicts document the shapes in
+JSON-Schema style for readers and external tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from .events import LEVELS
+from .provenance import DECISIONS, TRIGGERS
+
+__all__ = [
+    "SchemaError",
+    "EVENT_SCHEMA",
+    "TRACE_EVENT_SCHEMA",
+    "METRIC_SCHEMA",
+    "DECISION_SCHEMA",
+    "validate_event",
+    "validate_event_log",
+    "validate_chrome_trace",
+    "validate_metrics_snapshot",
+    "validate_decision",
+    "validate_provenance_jsonl",
+    "parse_prometheus",
+]
+
+
+class SchemaError(ValueError):
+    """A telemetry artifact does not match its documented schema."""
+
+
+EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["ts", "level", "event"],
+    "properties": {
+        "ts": {"type": "number"},
+        "level": {"enum": sorted(LEVELS)},
+        "event": {"type": "string"},
+    },
+    "additionalProperties": True,  # event-specific flat fields
+}
+
+TRACE_EVENT_SCHEMA = {
+    "type": "object",
+    "required": ["name", "ph", "pid", "tid"],
+    "properties": {
+        "name": {"type": "string"},
+        "ph": {"enum": ["X", "i", "M"]},
+        "ts": {"type": "number", "minimum": 0},
+        "dur": {"type": "number", "minimum": 0},
+        "pid": {"type": "integer"},
+        "tid": {"type": "integer"},
+        "cat": {"type": "string"},
+        "args": {"type": "object"},
+    },
+}
+
+METRIC_SCHEMA = {
+    "type": "object",
+    "required": ["type"],
+    "properties": {
+        "type": {"enum": ["counter", "gauge", "histogram"]},
+        "help": {"type": "string"},
+        "value": {"type": "number"},
+        "count": {"type": "integer"},
+        "sum": {"type": "number"},
+        "buckets": {"type": "object"},
+    },
+}
+
+DECISION_SCHEMA = {
+    "type": "object",
+    "required": [
+        "seq", "pair", "class_name", "decision", "score", "threshold",
+        "s_rv", "t_rv", "strong_support", "weak_support", "channels", "trigger",
+    ],
+    "properties": {
+        "seq": {"type": "integer", "minimum": 0},
+        "pair": {"type": "array", "items": {"type": "string"}},
+        "decision": {"enum": list(DECISIONS)},
+        "trigger": {"enum": list(TRIGGERS)},
+        "channels": {"type": "object"},
+        "score": {"type": "number", "minimum": 0, "maximum": 1},
+    },
+}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def validate_event(obj: dict) -> None:
+    """One event-log record against :data:`EVENT_SCHEMA`."""
+    _require(isinstance(obj, dict), f"event must be an object, got {type(obj).__name__}")
+    for key in ("ts", "level", "event"):
+        _require(key in obj, f"event missing required field {key!r}: {obj}")
+    _require(isinstance(obj["ts"], (int, float)), f"event ts must be numeric: {obj['ts']!r}")
+    _require(obj["level"] in LEVELS, f"unknown event level {obj['level']!r}")
+    _require(
+        isinstance(obj["event"], str) and obj["event"],
+        f"event name must be a non-empty string: {obj['event']!r}",
+    )
+
+
+def validate_event_log(path: str | Path) -> int:
+    """Every line of a JSONL event log; returns the event count."""
+    count = 0
+    with Path(path).open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"{path}:{line_number}: not valid JSON: {exc}") from exc
+            try:
+                validate_event(obj)
+            except SchemaError as exc:
+                raise SchemaError(f"{path}:{line_number}: {exc}") from exc
+            count += 1
+    return count
+
+
+def validate_chrome_trace(obj: dict) -> int:
+    """A Chrome trace-event JSON object; returns the event count."""
+    _require(isinstance(obj, dict), "trace must be a JSON object")
+    _require("traceEvents" in obj, "trace missing 'traceEvents'")
+    events = obj["traceEvents"]
+    _require(isinstance(events, list) and events, "'traceEvents' must be a non-empty list")
+    for index, event in enumerate(events):
+        _require(isinstance(event, dict), f"traceEvents[{index}] must be an object")
+        for key in ("name", "ph", "pid", "tid"):
+            _require(key in event, f"traceEvents[{index}] missing {key!r}")
+        phase = event["ph"]
+        _require(phase in ("X", "i", "M"), f"traceEvents[{index}] unknown phase {phase!r}")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                _require(key in event, f"traceEvents[{index}] complete event missing {key!r}")
+                _require(
+                    isinstance(event[key], (int, float)) and event[key] >= 0,
+                    f"traceEvents[{index}].{key} must be a non-negative number",
+                )
+    return len(events)
+
+
+def validate_metrics_snapshot(obj: dict) -> int:
+    """A metrics snapshot JSON; returns the metric count."""
+    _require(isinstance(obj, dict), "metrics snapshot must be a JSON object")
+    _require(bool(obj), "metrics snapshot is empty")
+    for name, metric in obj.items():
+        _require(isinstance(metric, dict), f"metric {name!r} must be an object")
+        kind = metric.get("type")
+        _require(
+            kind in ("counter", "gauge", "histogram"),
+            f"metric {name!r} has unknown type {kind!r}",
+        )
+        if kind == "histogram":
+            for key in ("count", "sum", "buckets"):
+                _require(key in metric, f"histogram {name!r} missing {key!r}")
+            buckets = metric["buckets"]
+            _require(
+                isinstance(buckets, dict) and "+Inf" in buckets,
+                f"histogram {name!r} buckets must include '+Inf'",
+            )
+            _require(
+                buckets["+Inf"] == metric["count"],
+                f"histogram {name!r}: +Inf bucket {buckets['+Inf']} != count {metric['count']}",
+            )
+            previous = -1
+            for bound, cumulative in buckets.items():
+                _require(
+                    isinstance(cumulative, int) and cumulative >= previous,
+                    f"histogram {name!r} bucket {bound!r} not cumulative",
+                )
+                previous = cumulative
+        else:
+            _require("value" in metric, f"{kind} {name!r} missing 'value'")
+            _require(
+                isinstance(metric["value"], (int, float)),
+                f"{kind} {name!r} value must be numeric",
+            )
+    return len(obj)
+
+
+def validate_decision(obj: dict) -> None:
+    """One provenance record against :data:`DECISION_SCHEMA`."""
+    _require(isinstance(obj, dict), "decision must be an object")
+    for key in DECISION_SCHEMA["required"]:
+        _require(key in obj, f"decision missing required field {key!r}: {obj}")
+    _require(
+        isinstance(obj["pair"], list)
+        and len(obj["pair"]) == 2
+        and all(isinstance(item, str) for item in obj["pair"]),
+        f"decision pair must be a 2-list of strings: {obj['pair']!r}",
+    )
+    _require(
+        obj["decision"] in DECISIONS,
+        f"unknown decision {obj['decision']!r}; expected one of {DECISIONS}",
+    )
+    _require(
+        obj["trigger"] in TRIGGERS,
+        f"unknown trigger {obj['trigger']!r}; expected one of {TRIGGERS}",
+    )
+    _require(
+        isinstance(obj["channels"], dict)
+        and all(isinstance(value, (int, float)) for value in obj["channels"].values()),
+        "decision channels must map channel name -> numeric score",
+    )
+    score = obj["score"]
+    _require(
+        isinstance(score, (int, float)) and 0.0 <= score <= 1.0,
+        f"decision score must be in [0, 1]: {score!r}",
+    )
+
+
+def validate_provenance_jsonl(path: str | Path) -> int:
+    """Every line of a provenance JSONL export; returns the count."""
+    count = 0
+    with Path(path).open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                validate_decision(json.loads(line))
+            except (json.JSONDecodeError, SchemaError) as exc:
+                raise SchemaError(f"{path}:{line_number}: {exc}") from exc
+            count += 1
+    return count
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse Prometheus text exposition format into ``{sample: value}``.
+
+    Strict enough to catch real breakage: every non-comment line must
+    be ``name[{labels}] value``, TYPE lines must name a known metric
+    kind, and at least one sample must exist.
+    """
+    samples: dict[str, float] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            _require(
+                len(parts) >= 3 and parts[1] in ("HELP", "TYPE"),
+                f"line {line_number}: malformed comment {line!r}",
+            )
+            if parts[1] == "TYPE":
+                _require(
+                    len(parts) == 4
+                    and parts[3] in ("counter", "gauge", "histogram", "summary", "untyped"),
+                    f"line {line_number}: malformed TYPE line {line!r}",
+                )
+            continue
+        name, _, value_text = line.rpartition(" ")
+        _require(bool(name), f"line {line_number}: no metric name in {line!r}")
+        try:
+            value = float(value_text)
+        except ValueError as exc:
+            raise SchemaError(
+                f"line {line_number}: sample value {value_text!r} is not a number"
+            ) from exc
+        _require(not math.isnan(value), f"line {line_number}: NaN sample")
+        samples[name] = value
+    _require(bool(samples), "no samples found in Prometheus text")
+    return samples

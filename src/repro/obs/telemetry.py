@@ -1,0 +1,118 @@
+"""The telemetry facade the engine threads through its hot paths.
+
+One :class:`Telemetry` object bundles the four sinks — event log,
+tracer, metrics registry, provenance log — behind a null-sink fast
+path: every sink defaults to ``None``, every facade method returns
+immediately when its sink is absent, and the engine additionally
+guards its per-step instrumentation on the precomputed
+:attr:`Telemetry.active` flag, so a run without telemetry executes the
+exact pre-observability code path (one attribute read per guarded
+block). Partitions are byte-identical with telemetry on or off:
+every sink is strictly observational, and nothing telemetry produces
+(timestamps, span ids, sequence numbers) enters the checkpoint
+fingerprint or any engine decision.
+"""
+
+from __future__ import annotations
+
+from .events import EventLog
+from .metrics import MetricsRegistry
+from .provenance import ProvenanceLog
+from .tracing import Tracer
+
+__all__ = ["Telemetry", "NULL_TELEMETRY"]
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """Bundle of observability sinks; all optional, all observational.
+
+    ``active`` is True when *any* sink is attached — the engine's
+    cheap guard for per-step work. Individual sinks are public
+    attributes so call sites can guard on exactly what they feed
+    (``tel.metrics is not None`` etc.).
+    """
+
+    __slots__ = ("log", "tracer", "metrics", "provenance", "active")
+
+    def __init__(
+        self,
+        *,
+        log: EventLog | None = None,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        provenance: ProvenanceLog | None = None,
+    ) -> None:
+        self.log = log
+        self.tracer = tracer
+        self.metrics = metrics
+        self.provenance = provenance
+        self.active = (
+            log is not None
+            or tracer is not None
+            or metrics is not None
+            or provenance is not None
+        )
+
+    @classmethod
+    def enabled(
+        cls,
+        *,
+        log_path=None,
+        log_level: str = "info",
+        trace: bool = False,
+        metrics: bool = False,
+        provenance: bool = False,
+        provenance_path=None,
+    ) -> "Telemetry":
+        """Convenience constructor from feature switches."""
+        return cls(
+            log=EventLog(log_path, level=log_level) if log_path else None,
+            tracer=Tracer() if trace else None,
+            metrics=MetricsRegistry() if metrics else None,
+            provenance=(
+                ProvenanceLog(provenance_path) if provenance or provenance_path else None
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # facade methods (each a no-op when its sink is absent)
+    # ------------------------------------------------------------------
+    def emit(self, level: str, event: str, /, **fields) -> None:
+        if self.log is not None:
+            self.log.emit(level, event, **fields)
+
+    def span(self, name: str, category: str = "engine", **args):
+        if self.tracer is not None:
+            return self.tracer.span(name, category, **args)
+        return _NULL_SPAN
+
+    def instant(self, name: str, **args) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(name, **args)
+
+    def close(self) -> None:
+        """Flush and close file-backed sinks (log, provenance JSONL)."""
+        if self.log is not None:
+            self.log.close()
+        if self.provenance is not None:
+            self.provenance.close()
+
+
+#: The shared null object: zero sinks, ``active`` False. The engine
+#: default — never mutated, safe to share between every engine.
+NULL_TELEMETRY = Telemetry()

@@ -1,0 +1,161 @@
+"""Span tracing: nested timed spans, exportable as Chrome trace JSON.
+
+A :class:`Tracer` records *complete* trace events (``"ph": "X"`` in
+the `trace-event format`__) for every span opened via :meth:`span`,
+so the file loads directly into ``chrome://tracing`` or Perfetto.
+Spans nest naturally through a stack; the exporter assigns the whole
+engine to one pid/tid because the engine itself is single-threaded
+(worker processes report their effect through metrics, not spans).
+
+__ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+Span ids and timestamps are tracer-local (``time.perf_counter``
+relative to the tracer's epoch); they are never serialised into
+checkpoints, so tracing cannot perturb resume determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["SpanRecord", "Tracer"]
+
+
+class SpanRecord:
+    """One finished span: name, category, start offset, duration, args."""
+
+    __slots__ = ("name", "category", "start", "duration", "args", "depth")
+
+    def __init__(self, name, category, start, duration, args, depth):
+        self.name = name
+        self.category = category
+        self.start = start
+        self.duration = duration
+        self.args = args
+        self.depth = depth
+
+
+class _Span:
+    """Context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_args", "_start", "_depth")
+
+    def __init__(self, tracer, name, category, args):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self._depth = len(tracer._stack)
+        tracer._stack.append(self._name)
+        self._start = tracer._clock() - tracer._epoch
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        tracer = self._tracer
+        end = tracer._clock() - tracer._epoch
+        tracer._stack.pop()
+        tracer.spans.append(
+            SpanRecord(
+                self._name,
+                self._category,
+                self._start,
+                end - self._start,
+                self._args,
+                self._depth,
+            )
+        )
+
+
+class Tracer:
+    """Collects spans and instants; exports Chrome trace-event JSON.
+
+    ``clock`` must be monotone; it is injectable for deterministic
+    tests. All offsets are seconds relative to the tracer's creation.
+    """
+
+    def __init__(self, *, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._stack: list[str] = []
+        self.spans: list[SpanRecord] = []
+        self.instants: list[tuple[str, float, dict]] = []
+
+    def span(self, name: str, category: str = "engine", **args) -> _Span:
+        """A context manager timing one nested span."""
+        return _Span(self, name, category, args)
+
+    def complete(
+        self, name: str, start: float, duration: float, category: str = "engine", **args
+    ) -> None:
+        """Record a span with explicit timing (offsets in seconds from
+        the tracer epoch) — for chunked spans the caller times itself."""
+        self.spans.append(
+            SpanRecord(name, category, start, duration, args, len(self._stack))
+        )
+
+    def instant(self, name: str, **args) -> None:
+        """Record a zero-duration marker (e.g. a checkpoint write)."""
+        self.instants.append((name, self._clock() - self._epoch, args))
+
+    def now(self) -> float:
+        """Current offset from the tracer epoch, for :meth:`complete`."""
+        return self._clock() - self._epoch
+
+    def phase_timings(self) -> dict[str, float]:
+        """Total seconds per span name (summed over repeats) — the
+        phase-attribution summary embedded in bench entries."""
+        totals: dict[str, float] = {}
+        for record in self.spans:
+            totals[record.name] = totals.get(record.name, 0.0) + record.duration
+        return {name: round(seconds, 6) for name, seconds in sorted(totals.items())}
+
+    def chrome_trace(self) -> dict:
+        """The full trace as a Chrome trace-event JSON object."""
+        events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": "repro reconciliation engine"},
+            }
+        ]
+        for record in self.spans:
+            event = {
+                "name": record.name,
+                "cat": record.category,
+                "ph": "X",
+                "ts": round(record.start * 1e6, 3),
+                "dur": round(record.duration * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+            }
+            if record.args:
+                event["args"] = dict(record.args)
+            events.append(event)
+        for name, offset, args in self.instants:
+            event = {
+                "name": name,
+                "cat": "engine",
+                "ph": "i",
+                "ts": round(offset * 1e6, 3),
+                "pid": 1,
+                "tid": 1,
+                "s": "p",
+            }
+            if args:
+                event["args"] = dict(args)
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str | Path) -> Path:
+        """Write the Chrome trace JSON to *path*."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.chrome_trace(), indent=1) + "\n")
+        return path

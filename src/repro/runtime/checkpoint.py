@@ -19,6 +19,15 @@ directory, is fsynced, then renamed over the previous checkpoint, so a
 crash mid-write can never corrupt the last good checkpoint. Reads
 verify the checksum and raise a typed :class:`CheckpointError` on any
 damage.
+
+Telemetry is deliberately *absent* from checkpoints: nothing the
+:mod:`repro.obs` sinks produce (event timestamps, span ids, decision
+sequence numbers) enters :func:`engine_state` or
+:func:`config_fingerprint`, so a run checkpointed with telemetry on
+resumes cleanly with it off (and vice versa), and byte-identical
+engine state fingerprints identically regardless of observability.
+File-backed sinks open in append mode, so a resumed run continues the
+original run's event log and audit trail coherently.
 """
 
 from __future__ import annotations

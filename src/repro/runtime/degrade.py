@@ -43,6 +43,7 @@ class ResilientReconciler:
         guard: RunGuard | None = None,
         checkpointer=None,
         fallback: str = "partial",
+        telemetry=None,
     ) -> None:
         if fallback not in ("partial", "indepdec"):
             raise ValueError(f"unknown fallback {fallback!r}")
@@ -52,7 +53,7 @@ class ResilientReconciler:
         self.guard = guard
         self.checkpointer = checkpointer
         self.fallback = fallback
-        self.reconciler = Reconciler(store, domain, self.config)
+        self.reconciler = Reconciler(store, domain, self.config, telemetry=telemetry)
 
     def run(self) -> ReconciliationResult:
         engine = self.reconciler
@@ -83,6 +84,9 @@ class ResilientReconciler:
             )
             engine.stats.degradations.append(event)
             result.degradations.append(event)
+            engine.telemetry.emit(
+                "warning", "degradation", kind=event.kind, detail=event.detail
+            )
         return result
 
     def _unresolved_classes(self, engine: Reconciler) -> set[str]:

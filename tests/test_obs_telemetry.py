@@ -1,0 +1,258 @@
+"""Unit tests for the observability primitives: event log, tracer,
+metrics registry, schema validators and stats renderers."""
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.core.engine import EngineStats
+from repro.obs import (
+    LEVELS,
+    NULL_TELEMETRY,
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SchemaError,
+    Telemetry,
+    Tracer,
+    hit_rate,
+    parse_prometheus,
+    render_degradations,
+    render_stats,
+    validate_chrome_trace,
+    validate_event,
+    validate_event_log,
+    validate_metrics_snapshot,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for timing-sensitive assertions."""
+
+    def __init__(self, start: float = 0.0, step: float = 0.5) -> None:
+        self.value = start
+        self.step = step
+
+    def __call__(self) -> float:
+        self.value += self.step
+        return self.value
+
+
+class TestEventLog:
+    def test_writes_jsonl_with_level_filtering(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, level="info", clock=lambda: 42.0) as log:
+            log.emit("debug", "ignored", detail="below threshold")
+            log.emit("info", "run_start", dataset="B")
+            log.emit("warning", "degradation", kind="budget")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [entry["event"] for entry in lines] == ["run_start", "degradation"]
+        assert lines[0] == {
+            "ts": 42.0, "level": "info", "event": "run_start", "dataset": "B",
+        }
+        for entry in lines:
+            validate_event(entry)
+
+    def test_append_mode_continues_existing_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("info", "run_start")
+        with EventLog(path) as log:
+            log.emit("info", "resume")
+        events = [json.loads(line)["event"] for line in path.read_text().splitlines()]
+        assert events == ["run_start", "resume"]
+        assert validate_event_log(path) == 2
+
+    def test_stream_sink(self):
+        stream = io.StringIO()
+        log = EventLog(stream=stream, level="debug")
+        log.emit("debug", "probe", x=1)
+        assert json.loads(stream.getvalue())["event"] == "probe"
+
+    def test_unknown_level_dropped(self):
+        stream = io.StringIO()
+        log = EventLog(stream=stream, level="debug")
+        log.emit("loud", "boom")  # unknown levels rank below every threshold
+        assert stream.getvalue() == ""
+        assert log.emitted == 0
+
+    def test_levels_are_ordered(self):
+        assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]
+
+
+class TestTracer:
+    def test_nested_spans_record_depth_and_duration(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("build", "engine"):
+            with tracer.span("build_class:Person", "engine", pairs=3):
+                pass
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["build"].depth == 0
+        assert spans["build_class:Person"].depth == 1
+        assert spans["build_class:Person"].args == {"pairs": 3}
+        # Inner span closes before outer, so it must be strictly shorter.
+        assert spans["build_class:Person"].duration < spans["build"].duration
+
+    def test_phase_timings_sum_same_name(self):
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        tracer.complete("iterate_chunk", start=0.0, duration=2.0)
+        tracer.complete("iterate_chunk", start=2.0, duration=3.0)
+        assert tracer.phase_timings()["iterate_chunk"] == pytest.approx(5.0)
+
+    def test_chrome_trace_is_valid_and_microseconds(self, tmp_path):
+        tracer = Tracer(clock=FakeClock(step=0.25))
+        with tracer.span("iterate", "engine"):
+            tracer.instant("checkpoint_saved", step=0)
+        trace = tracer.chrome_trace()
+        assert validate_chrome_trace(trace) >= 3  # metadata + span + instant
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert complete and complete[0]["name"] == "iterate"
+        # FakeClock advances 0.25 s per tick; the span covers at least
+        # the instant's tick, so its duration is >= 250000 us.
+        assert complete[0]["dur"] >= 250_000
+        path = tracer.write(tmp_path / "trace.json")
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert [s.name for s in tracer.spans] == ["doomed"]
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_basics(self):
+        counter = Counter("repro_merges_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        gauge = Gauge("repro_queue_size")
+        gauge.set(17)
+        assert gauge.value == 17
+        hist = Histogram("repro_latency_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(5.55)
+        assert hist.cumulative() == [(0.1, 1), (1.0, 2), (math.inf, 3)]
+
+    def test_registry_create_or_get(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_x_total") is registry.counter("repro_x_total")
+        with pytest.raises(TypeError):
+            registry.gauge("repro_x_total")  # same name, different kind
+
+    def test_absorb_stats_maps_engine_counters(self):
+        stats = EngineStats()
+        stats.merges = 7
+        stats.recomputations = 21
+        stats.feature_cache_hits = 90
+        stats.feature_cache_misses = 10
+        registry = MetricsRegistry()
+        registry.absorb_stats(stats)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_merges_total"]["value"] == 7
+        assert snapshot["repro_recomputations_total"]["value"] == 21
+        assert registry.cache_hit_rates()["feature"] == pytest.approx(0.9)
+        assert validate_metrics_snapshot(snapshot) == len(snapshot)
+
+    def test_snapshot_histogram_schema_roundtrip(self, tmp_path):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_recompute_seconds")
+        for value in (0.0001, 0.001, 0.5):
+            hist.observe(value)
+        path = registry.write(tmp_path / "metrics.json")
+        snapshot = json.loads(path.read_text())
+        assert validate_metrics_snapshot(snapshot) == 1
+        restored = snapshot["repro_recompute_seconds"]
+        assert restored["count"] == 3
+        assert restored["buckets"]["+Inf"] == 3
+
+    def test_prometheus_text_parses(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_merges_total", "merge decisions").inc(3)
+        registry.gauge("repro_build_seconds").set(1.5)
+        registry.histogram("repro_queue_depth", buckets=(1, 10)).observe(4)
+        text = registry.to_prometheus()
+        samples = parse_prometheus(text)
+        assert samples["repro_merges_total"] == 3
+        assert samples["repro_build_seconds"] == 1.5
+        assert samples['repro_queue_depth_bucket{le="10"}'] == 1
+        assert samples['repro_queue_depth_bucket{le="+Inf"}'] == 1
+        assert samples["repro_queue_depth_count"] == 1
+        # The .prom suffix selects the Prometheus exposition format.
+        path = registry.write(tmp_path / "metrics.prom")
+        assert parse_prometheus(path.read_text()) == samples
+
+    def test_broken_snapshot_rejected(self):
+        with pytest.raises(SchemaError):
+            validate_metrics_snapshot({"x": {"type": "teapot"}})
+        with pytest.raises(SchemaError):
+            # +Inf bucket disagreeing with count is a truncated export.
+            validate_metrics_snapshot({
+                "x": {"type": "histogram", "count": 3, "sum": 1.0,
+                      "buckets": {"+Inf": 2}},
+            })
+
+
+class TestNullTelemetry:
+    def test_null_sinks_are_inert(self):
+        assert NULL_TELEMETRY.active is False
+        NULL_TELEMETRY.emit("error", "anything", detail="dropped")
+        NULL_TELEMETRY.instant("anything")
+        with NULL_TELEMETRY.span("anything"):
+            pass
+        NULL_TELEMETRY.close()
+        assert NULL_TELEMETRY.log is None
+        assert NULL_TELEMETRY.tracer is None
+        assert NULL_TELEMETRY.metrics is None
+        assert NULL_TELEMETRY.provenance is None
+
+    def test_enabled_constructor_wires_requested_sinks(self, tmp_path):
+        telemetry = Telemetry.enabled(
+            log_path=tmp_path / "e.jsonl", trace=True, metrics=True,
+            provenance=True,
+        )
+        assert telemetry.active is True
+        assert telemetry.log is not None
+        assert telemetry.tracer is not None
+        assert telemetry.metrics is not None
+        assert telemetry.provenance is not None
+        telemetry.close()
+
+    def test_partial_telemetry_span_without_tracer(self):
+        telemetry = Telemetry(metrics=MetricsRegistry())
+        assert telemetry.active is True
+        with telemetry.span("no_tracer_installed"):
+            pass  # must not raise
+
+
+class TestRenderers:
+    def test_hit_rate_formats(self):
+        assert hit_rate(9, 1) == "90.0% (9/10)"
+        assert hit_rate(0, 0) == "n/a"
+
+    def test_render_stats_contains_counters(self):
+        stats = EngineStats()
+        stats.candidate_pairs = 12
+        stats.pair_nodes = 10
+        stats.merges = 4
+        text = render_stats(stats)
+        assert "candidate_pairs=12" in text
+        assert "merges=4" in text
+        assert text.startswith("engine stats:")
+
+    def test_render_degradations_empty_when_clean(self, tiny_pim_a):
+        from repro.core import EngineConfig, Reconciler
+        from repro.domains import PimDomainModel
+
+        result = Reconciler(
+            tiny_pim_a.store, PimDomainModel(), EngineConfig()
+        ).run()
+        assert result.completed
+        assert render_degradations(result) == ""
