@@ -6,6 +6,12 @@ Cora) and records build/iterate wall-clock, graph counters, and cache
 effectiveness. The committed ``BENCH_scaling.json`` at the repo root is
 the perf-regression baseline that CI's bench-smoke job checks against.
 
+Every bench row also writes a full run manifest (``run.json``, the
+same versioned schema ``--run-dir`` runs emit) under
+``<output-stem>_runs/<block>/<dataset>/`` and stores its repo-relative
+path in the row's ``manifest`` key — so bench history and run history
+share one schema and ``repro diff`` can compare bench generations.
+
 Usage:
 
     PYTHONPATH=src python scripts/record_bench.py                # full + quick
@@ -33,7 +39,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.core import EngineConfig, Reconciler  # noqa: E402
 from repro.datasets import generate_cora_dataset, generate_pim_dataset  # noqa: E402
 from repro.domains import CoraDomainModel, PimDomainModel  # noqa: E402
-from repro.obs import MetricsRegistry, Telemetry, Tracer  # noqa: E402
+from repro.obs import (  # noqa: E402
+    MetricsRegistry,
+    Telemetry,
+    Tracer,
+    build_manifest,
+    write_manifest,
+)
 from repro.similarity import clear_similarity_caches  # noqa: E402
 
 DATASETS = ["A", "B", "C", "D", "cora"]
@@ -67,7 +79,9 @@ def _rate(hits: int, misses: int) -> float | None:
     return round(hits / total, 4) if total else None
 
 
-def _measure(name: str, scale: float, workers: int = 1) -> tuple[object, dict]:
+def _measure(
+    name: str, scale: float, workers: int = 1, manifest_dir: Path | None = None
+) -> tuple[object, dict]:
     # Module-level LRU caches would let dataset N+1 free-ride on
     # dataset N's comparisons; clear them so every row is cold.
     clear_similarity_caches()
@@ -78,6 +92,10 @@ def _measure(name: str, scale: float, workers: int = 1) -> tuple[object, dict]:
     # wall-clock number; overhead is a handful of coarse spans.
     telemetry = Telemetry(tracer=Tracer(), metrics=MetricsRegistry())
     engine = Reconciler(dataset.store, _domain(name), config, telemetry=telemetry)
+    if manifest_dir is not None and dataset.gold.entity_of:
+        # Coarse sampling: bench manifests exist for cross-run diffing,
+        # not convergence plots, so keep the committed files small.
+        engine.attach_convergence(dataset.gold.entity_of, every=500)
     result = engine.run()
     stats = engine.stats
     row = {
@@ -113,6 +131,13 @@ def _measure(name: str, scale: float, workers: int = 1) -> tuple[object, dict]:
             ),
         },
     }
+    if manifest_dir is not None:
+        # One run manifest per bench row: bench history and run history
+        # share the run.json schema, so `repro diff` works across bench
+        # generations the same way it works across --run-dir runs.
+        telemetry.metrics.absorb_run_info(dataset=dataset.name, algorithm="depgraph")
+        manifest = build_manifest(dataset=dataset, reconciler=engine, result=result)
+        row["manifest"] = str(write_manifest(manifest, manifest_dir))
     return result, row
 
 
@@ -130,10 +155,17 @@ def _histogram_summary(registry, name: str) -> dict | None:
     }
 
 
-def _block(scale: float) -> dict:
+def _block(scale: float, runs_dir: Path | None = None, base_dir: Path | None = None) -> dict:
     rows = {}
     for name in DATASETS:
-        _, rows[name] = _measure(name, scale)
+        manifest_dir = runs_dir / name if runs_dir is not None else None
+        _, rows[name] = _measure(name, scale, manifest_dir=manifest_dir)
+        if "manifest" in rows[name] and base_dir is not None:
+            # Committed paths are repo-relative so the baseline file is
+            # readable from any checkout location.
+            rows[name]["manifest"] = str(
+                Path(rows[name]["manifest"]).resolve().relative_to(base_dir.resolve())
+            )
         print(
             f"  {name:>4s}: {rows[name]['references']:6d} refs  "
             f"build {rows[name]['build_seconds']:6.3f}s  "
@@ -212,11 +244,16 @@ def main(argv: list[str] | None = None) -> int:
         },
         "baseline_pre_pr": BASELINE_PRE_PR,
     }
+    output = Path(args.output)
+    # Per-row run manifests live beside the baseline JSON, one
+    # directory per block/dataset: <stem>_runs/quick/B/run.json etc.
+    runs_root = output.parent / f"{output.stem}_runs"
+    base_dir = output.parent if str(output.parent) != "" else Path(".")
     print(f"quick block (scale {QUICK_SCALE}):", file=sys.stderr)
-    payload["quick"] = _block(QUICK_SCALE)
+    payload["quick"] = _block(QUICK_SCALE, runs_root / "quick", base_dir)
     if not args.quick:
         print(f"full block (scale {FULL_SCALE}):", file=sys.stderr)
-        payload["full"] = _block(FULL_SCALE)
+        payload["full"] = _block(FULL_SCALE, runs_root / "full", base_dir)
 
     failures = []
     if args.workers_check:

@@ -11,6 +11,17 @@ Commands:
 * ``tables`` — regenerate any of the paper's tables on the terminal.
 * ``explain`` — reconcile, then explain why two references did (or did
   not) end up in one cluster.
+* ``diff`` — compare two run directories (manifests + provenance) and
+  localize regressions: flipped merge decisions with channel/threshold
+  attribution and root-cause chains, quality deltas, phase slowdowns.
+  Exits nonzero on regression so CI can gate on it.
+* ``report`` — given a run directory (``--run-dir`` output), write a
+  single self-contained HTML run report; given a ``.md`` path, run the
+  full experiment suite and write the markdown report (legacy form).
+
+``reconcile`` / ``evaluate`` / ``explain`` accept ``--run-dir DIR`` to
+collect a run's artifacts in one directory and emit a versioned
+``run.json`` manifest — the unit ``diff`` and ``report`` operate on.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from .baselines import indepdec_config
 from .core import EngineConfig, Reconciler
@@ -31,9 +43,15 @@ from .obs import (
     LEVELS,
     ProvenanceLog,
     Telemetry,
+    build_manifest,
+    diff_runs,
+    load_manifest,
     render_degradations,
+    render_diff,
     render_quarantine,
     render_stats,
+    resolve_artifact,
+    write_manifest,
 )
 
 __all__ = ["main", "build_parser"]
@@ -77,9 +95,24 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("directory")
     explain.add_argument("ref_a")
     explain.add_argument("ref_b")
+    explain.add_argument(
+        "--run", default=None, metavar="DIR",
+        help="answer from a recorded run directory: the provenance log "
+        "is resolved through DIR's run.json manifest instead of being "
+        "re-recorded",
+    )
 
     for runner in (reconcile, evaluate, explain):
         obs = runner.add_argument_group("observability")
+        obs.add_argument(
+            "--run-dir", default=None, metavar="DIR",
+            help="collect this run's artifacts in DIR and write a "
+            "versioned run.json manifest (config fingerprint, partition "
+            "digest, per-class quality, convergence samples); records "
+            "provenance to DIR/provenance.jsonl unless --provenance "
+            "points elsewhere. The unit `repro diff` / `repro report` "
+            "operate on",
+        )
         obs.add_argument(
             "--log-json", default=None, metavar="PATH",
             help="write a structured JSONL event stream (run phases, "
@@ -156,10 +189,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tables.add_argument("--scale", type=float, default=1.0)
 
-    report = commands.add_parser(
-        "report", help="run all experiments and write a markdown report"
+    diff = commands.add_parser(
+        "diff", help="localize regressions between two recorded runs"
     )
-    report.add_argument("output", help="output .md path")
+    diff.add_argument("run_a", help="baseline run directory (or its run.json)")
+    diff.add_argument("run_b", help="candidate run directory (or its run.json)")
+    diff.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="additionally write the structured verdict as JSON",
+    )
+    diff.add_argument(
+        "--quality-tolerance", type=float, default=0.0, metavar="DELTA",
+        help="absolute per-class metric drop tolerated before gating "
+        "(default 0: runs are deterministic, any drop is real)",
+    )
+    diff.add_argument(
+        "--phase-tolerance", type=float, default=0.25, metavar="FRACTION",
+        help="relative phase slowdown tolerated (default 0.25 = 25%%)",
+    )
+    diff.add_argument(
+        "--phase-floor", type=float, default=0.05, metavar="SECONDS",
+        help="absolute slowdown a phase must also exceed (default 0.05s)",
+    )
+    diff.add_argument(
+        "--max-flips", type=int, default=20, metavar="N",
+        help="flipped pairs to localize in detail (default 20)",
+    )
+
+    report = commands.add_parser(
+        "report",
+        help="HTML report for a run directory, or the markdown "
+        "experiments report for a .md path",
+    )
+    report.add_argument(
+        "target",
+        help="a run directory containing run.json (writes a "
+        "self-contained HTML report) or an output .md path (runs all "
+        "experiments and writes the markdown report)",
+    )
+    report.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="HTML output path (default <run_dir>/report.html); run-"
+        "directory targets only",
+    )
     report.add_argument("--scale", type=float, default=1.0)
     return parser
 
@@ -214,8 +286,50 @@ def _export_telemetry(telemetry: Telemetry | None, options) -> None:
     telemetry.close()
 
 
+def _apply_run_dir(options) -> Path | None:
+    """Materialize ``--run-dir``: create it and default the provenance
+    log into it (truncating a stale one on a fresh, non-resume run so
+    the audit trail matches this run exactly). Idempotent."""
+    run_dir = getattr(options, "run_dir", None) if options is not None else None
+    if not run_dir:
+        return None
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    if getattr(options, "provenance", None) is None:
+        default = run_dir / "provenance.jsonl"
+        if not getattr(options, "resume", None):
+            default.unlink(missing_ok=True)
+        options.provenance = str(default)
+    return run_dir
+
+
+def _run_artifacts(options, run_dir: Path) -> dict:
+    """Artifact-kind -> path map for the manifest; paths inside the run
+    directory are recorded relative so the directory stays portable."""
+    def _rel(path) -> str:
+        resolved = Path(path).resolve()
+        try:
+            return str(resolved.relative_to(run_dir.resolve()))
+        except ValueError:
+            return str(resolved)
+
+    artifacts: dict[str, str] = {}
+    for kind, attr in (
+        ("provenance", "provenance"),
+        ("events", "log_json"),
+        ("trace", "trace"),
+    ):
+        value = getattr(options, attr, None)
+        if value:
+            artifacts[kind] = _rel(value)
+    for path in getattr(options, "metrics", None) or []:
+        artifacts.setdefault("metrics", _rel(path))
+    return artifacts
+
+
 def _run(directory: str, algorithm: str, options=None, telemetry=None):
     lenient = bool(getattr(options, "lenient", False))
+    run_dir = _apply_run_dir(options)
     if telemetry is None:
         telemetry = _telemetry_from(options)
     dataset = load_dataset(directory, lenient=lenient)
@@ -269,11 +383,20 @@ def _run(directory: str, algorithm: str, options=None, telemetry=None):
         )
     else:
         reconciler = Reconciler(dataset.store, domain, config, telemetry=telemetry)
+    if run_dir is not None and dataset.gold.entity_of:
+        # Convergence samples feed the manifest; keyed by the
+        # (checkpointed) recomputation counter, so attaching after
+        # resume reproduces an uninterrupted run's samples.
+        reconciler.attach_convergence(dataset.gold.entity_of, every=50)
     result = reconciler.run(guard=guard, checkpointer=checkpointer)
     degraded = render_degradations(result)
     if degraded:
         print(degraded, file=sys.stderr)
     if telemetry is not None:
+        if telemetry.metrics is not None:
+            telemetry.metrics.absorb_run_info(
+                dataset=dataset.name, algorithm=algorithm
+            )
         telemetry.emit(
             "info",
             "run_end",
@@ -285,6 +408,17 @@ def _run(directory: str, algorithm: str, options=None, telemetry=None):
         _export_telemetry(telemetry, options)
     if options is not None and getattr(options, "stats", False):
         print(render_stats(reconciler.stats), file=sys.stderr)
+    if run_dir is not None:
+        manifest = build_manifest(
+            dataset=dataset,
+            reconciler=reconciler,
+            result=result,
+            algorithm=algorithm,
+            artifacts=_run_artifacts(options, run_dir),
+            resumed=bool(resume_path),
+        )
+        manifest_path = write_manifest(manifest, run_dir)
+        print(f"wrote run manifest to {manifest_path}", file=sys.stderr)
     return dataset, reconciler, result
 
 
@@ -359,25 +493,94 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    # Always record provenance for explain: the explanation replays
-    # the engine's actual decision records instead of recomputing
-    # similarities against post-hoc cluster state.
-    telemetry = _telemetry_from(args, force_provenance=True)
-    if telemetry is None:  # pragma: no cover - force_provenance guarantees it
-        telemetry = Telemetry(provenance=ProvenanceLog())
+    recorded = None
+    if getattr(args, "run", None):
+        # Resolve the provenance log through the run's manifest, so
+        # the caller names the run, not the raw artifact path.
+        manifest = load_manifest(args.run)
+        provenance_path = resolve_artifact(manifest, args.run, "provenance")
+        if provenance_path is None or not provenance_path.exists():
+            print(
+                f"run {args.run} has no provenance artifact "
+                "(re-run with --run-dir or --provenance)",
+                file=sys.stderr,
+            )
+            return 2
+        recorded = ProvenanceLog.from_jsonl(provenance_path)
+        # The engine reruns without a live provenance sink; the
+        # recorded log is swapped in afterwards so the explanation
+        # replays exactly what that run decided.
+        telemetry = _telemetry_from(args)
+    else:
+        # Always record provenance for explain: the explanation replays
+        # the engine's actual decision records instead of recomputing
+        # similarities against post-hoc cluster state.
+        telemetry = _telemetry_from(args, force_provenance=True)
+        if telemetry is None:  # pragma: no cover - force_provenance guarantees it
+            telemetry = Telemetry(provenance=ProvenanceLog())
     dataset, reconciler, _ = _run(args.directory, "depgraph", args, telemetry)
     if args.ref_a not in dataset.store or args.ref_b not in dataset.store:
         print("unknown reference id", file=sys.stderr)
         return 2
+    if recorded is not None:
+        reconciler.telemetry = Telemetry(provenance=recorded)
     explanation = explain_merge(reconciler, args.ref_a, args.ref_b)
     print(explanation.describe())
     return 0
 
 
+def _load_run(path: str):
+    """(manifest, provenance-or-None) for a run directory / run.json."""
+    manifest = load_manifest(path)
+    provenance = None
+    provenance_path = resolve_artifact(manifest, path, "provenance")
+    if provenance_path is not None and provenance_path.exists():
+        provenance = ProvenanceLog.from_jsonl(provenance_path)
+    return manifest, provenance
+
+
+def _cmd_diff(args) -> int:
+    manifest_a, provenance_a = _load_run(args.run_a)
+    manifest_b, provenance_b = _load_run(args.run_b)
+    if provenance_a is None or provenance_b is None:
+        print(
+            "note: provenance missing for at least one run; "
+            "flip localization skipped",
+            file=sys.stderr,
+        )
+    verdict = diff_runs(
+        manifest_a,
+        manifest_b,
+        provenance_a=provenance_a,
+        provenance_b=provenance_b,
+        label_a=args.run_a,
+        label_b=args.run_b,
+        quality_tolerance=args.quality_tolerance,
+        phase_tolerance=args.phase_tolerance,
+        phase_floor=args.phase_floor,
+        max_flips=args.max_flips,
+    )
+    print(render_diff(verdict))
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(verdict.to_dict(), indent=2) + "\n")
+        print(f"wrote verdict to {path}", file=sys.stderr)
+    return 1 if verdict.regressed else 0
+
+
 def _cmd_report(args) -> int:
+    target = Path(args.target)
+    if (target.is_dir() and (target / "run.json").exists()) or target.name == "run.json":
+        from .obs.report_html import write_report as write_html_report
+
+        run_dir = target if target.is_dir() else target.parent
+        path = write_html_report(run_dir, args.output)
+        print(f"wrote HTML run report to {path}")
+        return 0
     from .evaluation.report import write_report
 
-    path = write_report(args.output, scale=args.scale)
+    path = write_report(args.target, scale=args.scale)
     print(f"wrote report to {path}")
     return 0
 
@@ -390,6 +593,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "tables": _cmd_tables,
         "explain": _cmd_explain,
+        "diff": _cmd_diff,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -83,6 +83,11 @@ class EngineStats:
     #: worker processes the build actually used (1 = serial).
     parallel_workers: int = 1
     per_class_nodes: dict[str, int] = field(default_factory=dict)
+    #: convergence samples taken during iterate (plain dicts: keyed by
+    #: the recomputation counter, never wall-clock, so a resumed run
+    #: reproduces an uninterrupted run's samples exactly). Populated
+    #: only when :meth:`Reconciler.attach_convergence` was called.
+    convergence_samples: list[dict] = field(default_factory=list)
     #: structured trail of everything that degraded during the run
     #: (guard trips, pruned weak fan-out, baseline fallbacks).
     degradations: list[DegradationEvent] = field(default_factory=list)
@@ -133,6 +138,56 @@ class Reconciler:
         self._built = False
         #: why the last run stopped: "converged" or a degradation kind.
         self.stop_reason = "converged"
+        # Convergence sampling (run manifests): (gold entity_of, every).
+        self._convergence: tuple[dict[str, str], int] | None = None
+
+    def attach_convergence(
+        self, gold_entity_of: Mapping[str, str], *, every: int = 250
+    ) -> None:
+        """Record convergence samples against a gold standard.
+
+        Every *every* recomputations (and once at the end of the run)
+        the engine appends ``{recomputations, merges, queued,
+        precision, recall}`` to ``stats.convergence_samples`` — the
+        per-iteration curve a run manifest embeds. Samples are keyed by
+        the recomputation counter, which is checkpointed, so a resumed
+        run continues the exact sample sequence an uninterrupted run
+        produces. Sampling is read-only: it cannot change any decision.
+        """
+        if gold_entity_of:
+            self._convergence = (dict(gold_entity_of), max(1, int(every)))
+
+    def _sample_convergence(self, *, final: bool = False) -> None:
+        gold, every = self._convergence
+        n = self.stats.recomputations
+        samples = self.stats.convergence_samples
+        if not final and n % every:
+            return
+        if samples and samples[-1]["recomputations"] == n:
+            if not final:
+                return
+            samples.pop()  # the final state supersedes the boundary sample
+        from ..evaluation.metrics import combine_scores, pairwise_scores
+
+        per_class: dict[str, dict[str, list[str]]] = {}
+        for reference in self.store:
+            if reference.ref_id not in gold:
+                continue
+            per_class.setdefault(reference.class_name, {}).setdefault(
+                self.uf.find(reference.ref_id), []
+            ).append(reference.ref_id)
+        scores = combine_scores(
+            pairwise_scores(groups.values(), gold) for groups in per_class.values()
+        )
+        point = {
+            "recomputations": n,
+            "merges": self.stats.merges,
+            "queued": len(self.queue),
+            "precision": round(scores.precision, 6),
+            "recall": round(scores.recall, 6),
+        }
+        samples.append(point)
+        self.telemetry.emit("debug", "convergence_sample", **point)
 
     def _sync_feature_cache_stats(self) -> None:
         """Mirror the domain's :class:`~repro.perf.features.FeatureCache`
@@ -651,6 +706,8 @@ class Reconciler:
                 tel.emit("info", "checkpoint_saved", step=0)
                 tel.instant("checkpoint", step=0)
         while self.queue:
+            if self._convergence is not None:
+                self._sample_convergence()
             if budget is not None and self.stats.recomputations >= budget:
                 self.stop_reason = "budget"
                 self._degrade(
@@ -723,6 +780,8 @@ class Reconciler:
                 if checkpointer.maybe_save(self, step) is not None:
                     tel.emit("info", "checkpoint_saved", step=step)
                     tel.instant("checkpoint", step=step)
+        if self._convergence is not None:
+            self._sample_convergence(final=True)
         if tracer is not None:
             if step > chunk_step:
                 tracer.complete(

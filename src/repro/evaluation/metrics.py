@@ -20,6 +20,7 @@ from dataclasses import dataclass
 __all__ = [
     "PairwiseScores",
     "pairwise_scores",
+    "combine_scores",
     "partition_count",
     "entities_with_false_positives",
     "partition_reduction",
@@ -91,6 +92,29 @@ def pairwise_scores(
         true_pairs += sum(_pairs(count) for count in entity_counts.values())
 
     gold_pairs = sum(_pairs(count) for count in gold_counter.values())
+    precision = true_pairs / predicted_pairs if predicted_pairs else 1.0
+    recall = true_pairs / gold_pairs if gold_pairs else 1.0
+    return PairwiseScores(
+        precision=precision,
+        recall=recall,
+        true_pairs=true_pairs,
+        predicted_pairs=predicted_pairs,
+        gold_pairs=gold_pairs,
+    )
+
+
+def combine_scores(scores: Iterable[PairwiseScores]) -> PairwiseScores:
+    """Micro-average several pairwise scores by summing raw pair counts.
+
+    Used for cross-class quality (run manifests sample precision/recall
+    over *all* classes with gold): big classes weigh proportionally to
+    their pair universe, matching the paper's pairwise weighting.
+    """
+    true_pairs = predicted_pairs = gold_pairs = 0
+    for score in scores:
+        true_pairs += score.true_pairs
+        predicted_pairs += score.predicted_pairs
+        gold_pairs += score.gold_pairs
     precision = true_pairs / predicted_pairs if predicted_pairs else 1.0
     recall = true_pairs / gold_pairs if gold_pairs else 1.0
     return PairwiseScores(

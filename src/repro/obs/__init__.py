@@ -13,6 +13,17 @@ engine, perf and runtime subsystems:
 * :mod:`~repro.obs.provenance` — the merge-provenance audit log every
   ``explain`` replay runs from (``--provenance``).
 
+On top of the sinks sits the **run-analysis layer**:
+
+* :mod:`~repro.obs.manifest` — the versioned ``run.json`` summary
+  every ``--run-dir`` run emits (config fingerprint, partition digest,
+  per-class quality, convergence samples, counters, timings),
+* :mod:`~repro.obs.diffing` — ``repro diff``: cross-run regression
+  localization down to the flipped pair, its channel, and the
+  root-cause chain through the provenance graph,
+* :mod:`~repro.obs.report_html` — ``repro report``: a single
+  self-contained HTML file with inline-SVG charts.
+
 Everything is disabled by default: the engine holds the shared
 :data:`NULL_TELEMETRY` null object and its instrumented paths cost
 one attribute read when no sink is attached. Telemetry is strictly
@@ -21,17 +32,45 @@ none of its state (timestamps, span ids, record sequence numbers)
 enters checkpoints or their fingerprints.
 """
 
+from .diffing import DiffVerdict, diff_runs
 from .events import LEVELS, EventLog
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .manifest import (
+    MANIFEST_FILENAME,
+    MANIFEST_VERSION,
+    build_manifest,
+    invariant_view,
+    load_manifest,
+    partition_digest,
+    resolve_artifact,
+    write_manifest,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    format_labels,
+)
 from .provenance import DecisionRecord, ProvenanceLog
-from .render import hit_rate, render_degradations, render_quarantine, render_stats
+from .render import (
+    hit_rate,
+    render_degradations,
+    render_diff,
+    render_quarantine,
+    render_stats,
+)
+from .report_html import render_report, write_report
 from .schemas import (
     SchemaError,
+    parse_labels,
     parse_prometheus,
+    unescape_label_value,
     validate_chrome_trace,
     validate_event,
     validate_event_log,
     validate_decision,
+    validate_manifest,
     validate_metrics_snapshot,
     validate_provenance_jsonl,
 )
@@ -45,18 +84,36 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "escape_label_value",
+    "format_labels",
     "DecisionRecord",
     "ProvenanceLog",
+    "DiffVerdict",
+    "diff_runs",
+    "MANIFEST_FILENAME",
+    "MANIFEST_VERSION",
+    "build_manifest",
+    "invariant_view",
+    "load_manifest",
+    "partition_digest",
+    "resolve_artifact",
+    "write_manifest",
+    "render_report",
+    "write_report",
     "hit_rate",
     "render_degradations",
+    "render_diff",
     "render_quarantine",
     "render_stats",
     "SchemaError",
+    "parse_labels",
     "parse_prometheus",
+    "unescape_label_value",
     "validate_chrome_trace",
     "validate_event",
     "validate_event_log",
     "validate_decision",
+    "validate_manifest",
     "validate_metrics_snapshot",
     "validate_provenance_jsonl",
     "NULL_TELEMETRY",

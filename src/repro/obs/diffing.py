@@ -1,0 +1,323 @@
+"""Cross-run regression diffing: what changed between run A and run B.
+
+The failure mode this localizes is specific to collective
+reconciliation: one flipped merge decision propagates through the
+dependency graph and silently moves precision/recall several hops
+away. Comparing final partitions says *that* quality moved; comparing
+the two runs' provenance logs says *which* pair flipped first, which
+channel score or threshold flipped it, and — by walking the
+``trigger_pair`` chain upstream — which seed decision the downstream
+flip is ultimately attributable to.
+
+:func:`diff_runs` consumes two run manifests (see
+:mod:`repro.obs.manifest`) plus, optionally, their provenance logs,
+and produces a :class:`DiffVerdict`:
+
+* **quality regressions** — per class / metric family / metric, drops
+  beyond ``quality_tolerance``;
+* **flipped pairs** — merged in exactly one of the runs, each
+  attributed to the evidence channel whose score moved the most
+  between the runs' decision records, with before/after channel
+  scores, thresholds, and the upstream root-cause chain;
+* **phase slowdowns** beyond a relative tolerance *and* an absolute
+  floor (so micro-benchmark noise on sub-50 ms phases never gates CI);
+* **new degradations** and completed→degraded transitions.
+
+``verdict.regressed`` drives the CLI exit code; a run diffed against
+itself is guaranteed clean. Flips are localization evidence, not a
+gate by themselves: a flip that *improves* quality (it shows up in
+``quality_improvements``) should not fail a build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DiffVerdict", "diff_runs", "final_merges", "root_cause_chain"]
+
+#: metric families / metrics compared per class.
+_FAMILIES = ("pairwise", "bcubed")
+_METRICS = ("precision", "recall", "f1")
+
+_MERGE_DECISIONS = ("merge", "transitive_merge")
+
+#: triggers that start a propagation chain (nothing upstream of them).
+_ROOT_TRIGGERS = ("seed", "incremental")
+
+
+@dataclass
+class DiffVerdict:
+    """Structured result of :func:`diff_runs` (JSON-ready via
+    :meth:`to_dict`; ``regressed`` drives the CLI exit code)."""
+
+    run_a: str
+    run_b: str
+    datasets: tuple[str, str]
+    config_changes: list[str] = field(default_factory=list)
+    partition_changed: bool = False
+    quality_regressions: list[dict] = field(default_factory=list)
+    quality_improvements: list[dict] = field(default_factory=list)
+    flipped_pairs: list[dict] = field(default_factory=list)
+    flips_total: int = 0
+    phase_regressions: list[dict] = field(default_factory=list)
+    new_degradations: list[str] = field(default_factory=list)
+    completed_regression: bool = False
+
+    @property
+    def regressed(self) -> bool:
+        return bool(
+            self.quality_regressions
+            or self.phase_regressions
+            or self.new_degradations
+            or self.completed_regression
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "datasets": list(self.datasets),
+            "config_changes": self.config_changes,
+            "partition_changed": self.partition_changed,
+            "quality_regressions": self.quality_regressions,
+            "quality_improvements": self.quality_improvements,
+            "flipped_pairs": self.flipped_pairs,
+            "flips_total": self.flips_total,
+            "phase_regressions": self.phase_regressions,
+            "new_degradations": self.new_degradations,
+            "completed_regression": self.completed_regression,
+            "regressed": self.regressed,
+        }
+
+
+def final_merges(provenance) -> dict:
+    """``{pair: merge DecisionRecord}`` — a pair's final outcome is
+    "merged" iff any record reconciled it (unions are never undone)."""
+    merges: dict = {}
+    for record in provenance.records:
+        if record.decision in _MERGE_DECISIONS and record.pair not in merges:
+            merges[record.pair] = record
+    return merges
+
+
+def root_cause_chain(provenance, record, *, limit: int = 32) -> list[dict]:
+    """Walk a decision's ``trigger_pair`` links back to the seed.
+
+    Returns the chain *upstream-first*: the first entry is the root
+    cause (a seed/incremental activation), the last is *record*
+    itself. Each hop is the decision on the upstream pair that queued
+    the downstream one, so the chain reads as the actual propagation
+    path through the dependency graph. Cycle-guarded and bounded.
+    """
+    chain: list[dict] = []
+    seen: set = set()
+    current = record
+    while current is not None and len(chain) < limit:
+        if current.pair in seen:
+            break
+        seen.add(current.pair)
+        chain.append(
+            {
+                "pair": list(current.pair),
+                "class": current.class_name,
+                "decision": current.decision,
+                "trigger": current.trigger,
+                "score": current.score,
+            }
+        )
+        if current.trigger in _ROOT_TRIGGERS or current.trigger_pair is None:
+            break
+        upstream = provenance.decisions_for(*current.trigger_pair)
+        # The decision that caused the activation is the latest one on
+        # the upstream pair at or before this record's sequence number.
+        current = next(
+            (rec for rec in reversed(upstream) if rec.seq <= current.seq), None
+        )
+    chain.reverse()
+    return chain
+
+
+def _config_changes(config_a: dict, config_b: dict, prefix: str = "") -> list[str]:
+    keys = sorted(set(config_a) | set(config_b))
+    changed: list[str] = []
+    for key in keys:
+        left, right = config_a.get(key), config_b.get(key)
+        if isinstance(left, dict) and isinstance(right, dict):
+            changed.extend(_config_changes(left, right, f"{prefix}{key}."))
+        elif left != right:
+            changed.append(f"{prefix}{key}")
+    return changed
+
+
+def _quality_deltas(manifest_a: dict, manifest_b: dict, tolerance: float):
+    regressions: list[dict] = []
+    improvements: list[dict] = []
+    quality_a = manifest_a.get("quality", {})
+    quality_b = manifest_b.get("quality", {})
+    for class_name in sorted(set(quality_a) | set(quality_b)):
+        scores_a = quality_a.get(class_name, {})
+        scores_b = quality_b.get(class_name, {})
+        for family in _FAMILIES:
+            for metric in _METRICS:
+                left = scores_a.get(family, {}).get(metric)
+                right = scores_b.get(family, {}).get(metric)
+                if left is None or right is None:
+                    continue
+                delta = round(right - left, 6)
+                if not delta:
+                    continue
+                entry = {
+                    "class": class_name,
+                    "family": family,
+                    "metric": metric,
+                    "a": left,
+                    "b": right,
+                    "delta": delta,
+                }
+                if delta < -tolerance:
+                    regressions.append(entry)
+                elif delta > 0:
+                    improvements.append(entry)
+    return regressions, improvements
+
+
+def _phase_regressions(
+    manifest_a: dict, manifest_b: dict, tolerance: float, floor: float
+) -> list[dict]:
+    execution_a = manifest_a.get("execution", {})
+    execution_b = manifest_b.get("execution", {})
+    timings_a = dict(execution_a.get("phase_seconds") or {})
+    timings_b = dict(execution_b.get("phase_seconds") or {})
+    for key in ("build_seconds", "iterate_seconds"):
+        timings_a.setdefault(key.replace("_seconds", ""), execution_a.get(key, 0.0))
+        timings_b.setdefault(key.replace("_seconds", ""), execution_b.get(key, 0.0))
+    slow: list[dict] = []
+    for phase in sorted(set(timings_a) & set(timings_b)):
+        left, right = float(timings_a[phase]), float(timings_b[phase])
+        if right > left * (1.0 + tolerance) and right - left > floor:
+            slow.append(
+                {
+                    "phase": phase,
+                    "a_seconds": round(left, 6),
+                    "b_seconds": round(right, 6),
+                    "ratio": round(right / left, 3) if left else None,
+                }
+            )
+    return slow
+
+
+def _attribute_flip(record_a, record_b) -> dict:
+    """Which evidence channel moved most between the two runs' last
+    decisions on a pair (falling back to threshold, then support)."""
+    channels_a = dict(record_a.channels) if record_a is not None else {}
+    channels_b = dict(record_b.channels) if record_b is not None else {}
+    best_channel = None
+    best_move = 0.0
+    for channel in sorted(set(channels_a) | set(channels_b)):
+        move = abs(channels_b.get(channel, 0.0) - channels_a.get(channel, 0.0))
+        if move > best_move:
+            best_channel, best_move = channel, move
+    threshold_a = record_a.threshold if record_a is not None else None
+    threshold_b = record_b.threshold if record_b is not None else None
+    if best_channel is not None:
+        cause = "channel_score"
+    elif threshold_a != threshold_b:
+        cause = "threshold"
+    else:
+        cause = "propagation"
+    return {
+        "cause": cause,
+        "channel": best_channel,
+        "channel_score_a": channels_a.get(best_channel) if best_channel else None,
+        "channel_score_b": channels_b.get(best_channel) if best_channel else None,
+        "score_a": record_a.score if record_a is not None else None,
+        "score_b": record_b.score if record_b is not None else None,
+        "threshold_a": threshold_a,
+        "threshold_b": threshold_b,
+    }
+
+
+def _flips(provenance_a, provenance_b, max_flips: int):
+    merges_a = final_merges(provenance_a)
+    merges_b = final_merges(provenance_b)
+    flipped = sorted(set(merges_a) ^ set(merges_b))
+    entries: list[dict] = []
+    for pair in flipped[:max_flips]:
+        merged_in_a = pair in merges_a
+        record_a = merges_a.get(pair) or provenance_a.last_decision(*pair)
+        record_b = merges_b.get(pair) or provenance_b.last_decision(*pair)
+        known = record_a or record_b
+        merged_record = record_a if merged_in_a else record_b
+        merged_log = provenance_a if merged_in_a else provenance_b
+        entry = {
+            "pair": list(pair),
+            "class": known.class_name if known is not None else None,
+            "direction": "merged->unmerged" if merged_in_a else "unmerged->merged",
+            "decision_a": record_a.decision if record_a is not None else None,
+            "decision_b": record_b.decision if record_b is not None else None,
+            "attribution": _attribute_flip(record_a, record_b),
+            "root_cause": root_cause_chain(merged_log, merged_record)
+            if merged_record is not None
+            else [],
+        }
+        entries.append(entry)
+    return entries, len(flipped)
+
+
+def diff_runs(
+    manifest_a: dict,
+    manifest_b: dict,
+    *,
+    provenance_a=None,
+    provenance_b=None,
+    label_a: str = "A",
+    label_b: str = "B",
+    quality_tolerance: float = 0.0,
+    phase_tolerance: float = 0.25,
+    phase_floor: float = 0.05,
+    max_flips: int = 20,
+) -> DiffVerdict:
+    """Compare two run manifests (and optionally their provenance).
+
+    *quality_tolerance* is absolute: a per-class metric may drop by up
+    to this much without gating (default 0 — runs are deterministic,
+    so any drop is real). *phase_tolerance* is relative and
+    *phase_floor* absolute; both must be exceeded for a phase slowdown
+    to count. Flip localization requires both provenance logs; without
+    them the verdict still carries quality/phase/degradation results.
+    """
+    verdict = DiffVerdict(
+        run_a=label_a,
+        run_b=label_b,
+        datasets=(
+            manifest_a.get("run", {}).get("dataset", "?"),
+            manifest_b.get("run", {}).get("dataset", "?"),
+        ),
+    )
+    verdict.config_changes = _config_changes(
+        manifest_a.get("config", {}), manifest_b.get("config", {})
+    )
+    verdict.partition_changed = (
+        manifest_a.get("partition", {}).get("digest")
+        != manifest_b.get("partition", {}).get("digest")
+    )
+    verdict.quality_regressions, verdict.quality_improvements = _quality_deltas(
+        manifest_a, manifest_b, quality_tolerance
+    )
+    verdict.phase_regressions = _phase_regressions(
+        manifest_a, manifest_b, phase_tolerance, phase_floor
+    )
+
+    kinds_a = {event.get("kind") for event in manifest_a.get("degradations", [])}
+    kinds_b = {event.get("kind") for event in manifest_b.get("degradations", [])}
+    verdict.new_degradations = sorted(kinds_b - kinds_a)
+    verdict.completed_regression = bool(
+        manifest_a.get("run", {}).get("completed")
+        and not manifest_b.get("run", {}).get("completed")
+    )
+
+    if provenance_a is not None and provenance_b is not None:
+        verdict.flipped_pairs, verdict.flips_total = _flips(
+            provenance_a, provenance_b, max_flips
+        )
+    return verdict

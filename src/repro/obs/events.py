@@ -16,6 +16,8 @@ event                     emitted when
 ``iterate_start``         the fixpoint loop begins
 ``iterate_progress``      periodic progress (step, queue, merges)
 ``merge`` / ``non_merge`` one reconciliation decision (debug level)
+``convergence_sample``    a P/R-vs-gold convergence sample was taken
+                          (debug level; run-manifest sampling)
 ``degradation``           anything degraded (guard trip, pruning,
                           parallel fallback, budget stop)
 ``checkpoint_saved``      a checkpoint was written

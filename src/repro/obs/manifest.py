@@ -1,0 +1,249 @@
+"""Run manifests: one machine-readable summary per engine/CLI run.
+
+PR 3 left every run with rich but *separate* artifacts (event log,
+trace, metrics, provenance); the manifest is the versioned index that
+relates them and captures the run's semantic outcome in one place:
+configuration fingerprint, dataset id, partition digest, per-class
+quality against gold, per-iteration convergence samples, decision
+counters, degradations, and pointers to the sibling artifacts. It is
+what ``repro diff`` compares and ``repro report`` renders.
+
+The manifest is split into an **invariant core** and two
+execution-dependent sections:
+
+* The core (``run``, ``config``, ``partition``, ``quality``,
+  ``convergence``, ``counters``, ``degradations``) is a pure function
+  of the dataset and the configuration — byte-identical with telemetry
+  on or off, and for a resumed run vs an uninterrupted one.
+* ``execution`` holds wall-clock timings, phase attributions, cache
+  hit rates (caches restart cold on resume, so their counters are
+  execution state, not outcome state) and the resume flag;
+  ``artifacts`` holds sibling file paths. Both are excluded by
+  :func:`invariant_view`, which the invariance tests and ``repro
+  diff`` compare on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "MANIFEST_FILENAME",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "invariant_view",
+    "partition_digest",
+    "quality_by_class",
+    "resolve_artifact",
+]
+
+MANIFEST_VERSION = 1
+MANIFEST_FILENAME = "run.json"
+
+#: top-level sections excluded from cross-run invariance comparisons.
+EXECUTION_SECTIONS = ("execution", "artifacts")
+
+#: EngineStats fields that describe the run's *outcome* (deterministic
+#: across telemetry on/off and resume) rather than its execution.
+_COUNTER_FIELDS = (
+    "candidate_pairs",
+    "pair_nodes",
+    "value_nodes",
+    "graph_nodes",
+    "recomputations",
+    "merges",
+    "non_merges",
+    "premerged_unions",
+    "constraint_pairs",
+    "fusions",
+    "queue_front_pushes",
+    "queue_back_pushes",
+    "skipped_weak_fanout",
+)
+
+#: (cache name, hits field, misses field) — execution-dependent.
+_CACHE_FIELDS = (
+    ("values", "values_cache_hits", "values_cache_misses"),
+    ("contacts", "contacts_cache_hits", "contacts_cache_misses"),
+    ("feature", "feature_cache_hits", "feature_cache_misses"),
+    ("pair_memo", "pair_memo_hits", "pair_memo_misses"),
+)
+
+
+def _canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def partition_digest(partitions: dict[str, list[list[str]]]) -> str:
+    """``sha256:...`` over the canonical JSON form of the partition."""
+    return "sha256:" + hashlib.sha256(_canonical(partitions).encode()).hexdigest()
+
+
+def quality_by_class(
+    partitions: dict[str, list[list[str]]], gold_entity_of: dict[str, str]
+) -> dict:
+    """Per-class pairwise + B-cubed P/R/F against a gold mapping.
+
+    Classes with no gold-covered reference are omitted; an empty gold
+    standard yields an empty dict (the manifest still validates).
+    """
+    # Imported lazily: obs is loaded by repro.core.engine, which the
+    # evaluation package itself imports (cycle otherwise).
+    from ..evaluation.clustering import bcubed_scores
+    from ..evaluation.metrics import pairwise_scores
+
+    quality: dict[str, dict] = {}
+    if not gold_entity_of:
+        return quality
+    for class_name in sorted(partitions):
+        clusters = partitions[class_name]
+        if not any(ref_id in gold_entity_of for cluster in clusters for ref_id in cluster):
+            continue
+        pw = pairwise_scores(clusters, gold_entity_of)
+        b3 = bcubed_scores(clusters, gold_entity_of)
+        quality[class_name] = {
+            "pairwise": {
+                "precision": round(pw.precision, 6),
+                "recall": round(pw.recall, 6),
+                "f1": round(pw.f_measure, 6),
+            },
+            "bcubed": {
+                "precision": round(b3.precision, 6),
+                "recall": round(b3.recall, 6),
+                "f1": round(b3.f_measure, 6),
+            },
+            "partitions": len(clusters),
+        }
+    return quality
+
+
+def _cache_rates(stats) -> dict:
+    rates: dict[str, float | None] = {}
+    for cache_name, hits_attr, misses_attr in _CACHE_FIELDS:
+        hits = getattr(stats, hits_attr)
+        misses = getattr(stats, misses_attr)
+        total = hits + misses
+        rates[cache_name] = round(hits / total, 4) if total else None
+    return rates
+
+
+def build_manifest(
+    *,
+    dataset,
+    reconciler,
+    result,
+    algorithm: str = "depgraph",
+    artifacts: dict | None = None,
+    resumed: bool = False,
+) -> dict:
+    """Assemble the manifest for one finished run.
+
+    *dataset* is the :class:`~repro.datasets.dataset.Dataset` the run
+    reconciled, *reconciler* the finished engine, *result* its
+    :class:`~repro.core.result.ReconciliationResult`. *artifacts* maps
+    artifact kind (``provenance`` / ``events`` / ``trace`` /
+    ``metrics`` / ``partition``) to a path, preferably relative to the
+    run directory.
+    """
+    from ..runtime.checkpoint import config_fingerprint
+
+    stats = reconciler.stats
+    tracer = getattr(reconciler.telemetry, "tracer", None)
+    phase_seconds = tracer.phase_timings() if tracer is not None else {}
+    return {
+        "manifest_version": MANIFEST_VERSION,
+        "kind": "repro_run_manifest",
+        "generated_by": "repro.obs.manifest",
+        "run": {
+            "dataset": dataset.name,
+            "algorithm": algorithm,
+            "references": len(dataset.store),
+            "completed": result.completed,
+            "stop_reason": result.stop_reason,
+            "quarantined": len(dataset.quarantined),
+        },
+        "config": config_fingerprint(reconciler.config),
+        "partition": {
+            "digest": partition_digest(result.partitions),
+            "per_class": {
+                class_name: len(clusters)
+                for class_name, clusters in sorted(result.partitions.items())
+            },
+        },
+        "quality": quality_by_class(result.partitions, dataset.gold.entity_of),
+        "convergence": [dict(sample) for sample in stats.convergence_samples],
+        "counters": {name: getattr(stats, name) for name in _COUNTER_FIELDS},
+        "degradations": [asdict(event) for event in stats.degradations],
+        "execution": {
+            "resumed": bool(resumed),
+            "build_seconds": round(stats.build_seconds, 6),
+            "iterate_seconds": round(stats.iterate_seconds, 6),
+            "total_seconds": round(stats.build_seconds + stats.iterate_seconds, 6),
+            "phase_seconds": phase_seconds,
+            "cache_hit_rates": _cache_rates(stats),
+            "prefilter_skips": stats.prefilter_skips,
+            "parallel_workers": stats.parallel_workers,
+            "generated_at": round(time.time(), 3),
+        },
+        "artifacts": dict(artifacts or {}),
+    }
+
+
+def write_manifest(
+    manifest: dict, run_dir: str | Path, filename: str = MANIFEST_FILENAME
+) -> Path:
+    """Write *manifest* as ``<run_dir>/run.json``; returns the path."""
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    path = run_dir / filename
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Load a manifest from a run directory or a ``run.json`` path."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / MANIFEST_FILENAME
+    return json.loads(path.read_text())
+
+
+def invariant_view(manifest: dict) -> dict:
+    """The manifest minus its execution-dependent sections.
+
+    Two runs of the same dataset under the same configuration must
+    produce byte-equal invariant views regardless of telemetry sinks
+    or checkpoint/resume interruptions; the invariance tests and
+    ``repro diff`` compare this view.
+    """
+    return {
+        key: value
+        for key, value in manifest.items()
+        if key not in EXECUTION_SECTIONS
+    }
+
+
+def resolve_artifact(
+    manifest: dict, run_path: str | Path, kind: str
+) -> Path | None:
+    """Absolute path of one recorded artifact, or ``None``.
+
+    Relative artifact paths resolve against the run directory (the
+    directory holding ``run.json``), so a run directory can be moved
+    or unpacked anywhere and its manifest keeps working.
+    """
+    value = manifest.get("artifacts", {}).get(kind)
+    if not value:
+        return None
+    run_path = Path(run_path)
+    base = run_path if run_path.is_dir() else run_path.parent
+    path = Path(value)
+    if not path.is_absolute():
+        path = base / path
+    return path

@@ -19,7 +19,14 @@ import json
 import math
 from pathlib import Path
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_label_value",
+    "format_labels",
+]
 
 #: default histogram buckets for sub-second latencies (seconds).
 LATENCY_BUCKETS = (
@@ -31,16 +38,43 @@ LATENCY_BUCKETS = (
 DEPTH_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format (version 0.0.4).
+
+    Backslash, double-quote and newline are the three characters the
+    format reserves inside quoted label values; anything else passes
+    through verbatim. Backslash must go first or it would re-escape
+    the other two replacements.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_labels(labels: dict[str, str] | None) -> str:
+    """``{k="v",...}`` with escaped values, or ``""`` for no labels."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
 class Counter:
     """Monotone counter."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels")
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", labels: dict | None = None) -> None:
         self.name = name
         self.help = help
         self.value = 0
+        self.labels = dict(labels) if labels else None
 
     def inc(self, amount: int | float = 1) -> None:
         self.value += amount
@@ -49,13 +83,14 @@ class Counter:
 class Gauge:
     """A value that can go up and down (or be set once at the end)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels")
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "", labels: dict | None = None) -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self.labels = dict(labels) if labels else None
 
     def set(self, value: float) -> None:
         self.value = value
@@ -119,11 +154,11 @@ class MetricsRegistry:
             )
         return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(name, Counter, help=help)
+    def counter(self, name: str, help: str = "", labels: dict | None = None) -> Counter:
+        return self._get(name, Counter, help=help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(name, Gauge, help=help)
+    def gauge(self, name: str, help: str = "", labels: dict | None = None) -> Gauge:
+        return self._get(name, Gauge, help=help, labels=labels)
 
     def histogram(self, name: str, help: str = "", buckets=LATENCY_BUCKETS) -> Histogram:
         return self._get(name, Histogram, help=help, buckets=buckets)
@@ -188,6 +223,20 @@ class MetricsRegistry:
                 f"repro_{cache_name}_cache_misses_total", f"{cache_name} cache misses"
             ).value = misses
 
+    def absorb_run_info(self, **labels: str) -> Gauge:
+        """Record run identity (dataset id, algorithm, ...) as the
+        conventional ``repro_run_info`` gauge with value 1.
+
+        Label values are free-form strings — dataset ids can contain
+        quotes or backslashes — so the exporters escape them per the
+        exposition format and :func:`repro.obs.schemas.parse_labels`
+        round-trips them.
+        """
+        info = self.gauge("repro_run_info", "run identity labels (constant 1)")
+        info.labels = {key: str(value) for key, value in labels.items()}
+        info.set(1)
+        return info
+
     def cache_hit_rates(self) -> dict[str, float | None]:
         """hit/(hit+miss) per absorbed cache; ``None`` when untouched."""
         rates: dict[str, float | None] = {}
@@ -220,11 +269,14 @@ class MetricsRegistry:
                     },
                 }
             else:
-                out[name] = {
+                entry = {
                     "type": metric.kind,
                     "help": metric.help,
                     "value": metric.value,
                 }
+                if metric.labels:
+                    entry["labels"] = dict(metric.labels)
+                out[name] = entry
         return out
 
     def to_prometheus(self) -> str:
@@ -242,7 +294,8 @@ class MetricsRegistry:
                 lines.append(f"{name}_sum {format(metric.sum, 'g')}")
                 lines.append(f"{name}_count {metric.count}")
             else:
-                lines.append(f"{name} {format(metric.value, 'g')}")
+                labels = format_labels(metric.labels)
+                lines.append(f"{name}{labels} {format(metric.value, 'g')}")
         return "\n".join(lines) + "\n"
 
     def write(self, path: str | Path) -> Path:

@@ -15,6 +15,7 @@ __all__ = [
     "render_stats",
     "render_degradations",
     "render_quarantine",
+    "render_diff",
 ]
 
 
@@ -65,3 +66,90 @@ def render_quarantine(quarantined) -> str:
     return (
         f"quarantined {len(quarantined)} bad records (see quarantine.jsonl)"
     )
+
+
+def _pair(pair: list) -> str:
+    return f"{pair[0]} <-> {pair[1]}"
+
+
+def render_diff(verdict) -> str:
+    """``repro diff`` text from a :class:`~repro.obs.diffing.DiffVerdict`.
+
+    Pure function of the verdict (no wall-clock, no paths beyond the
+    labels already inside it), so identical runs render byte-identical
+    text — a golden-file test holds this stable.
+    """
+    lines = [f"run diff: {verdict.run_a} vs {verdict.run_b}"]
+    dataset_a, dataset_b = verdict.datasets
+    lines.append(
+        f"  datasets: {dataset_a}"
+        if dataset_a == dataset_b
+        else f"  datasets: {dataset_a} vs {dataset_b} (MISMATCH)"
+    )
+    if verdict.config_changes:
+        lines.append("  config changes: " + ", ".join(verdict.config_changes))
+    lines.append(
+        "  partition: changed" if verdict.partition_changed else "  partition: identical"
+    )
+
+    if verdict.completed_regression:
+        lines.append("  COMPLETED -> DEGRADED: run B did not finish cleanly")
+    for kind in verdict.new_degradations:
+        lines.append(f"  new degradation: {kind}")
+
+    if verdict.quality_regressions or verdict.quality_improvements:
+        lines.append("  quality deltas (B - A):")
+        for entry in verdict.quality_regressions:
+            lines.append(
+                f"    REGRESSION {entry['class']} {entry['family']}.{entry['metric']}: "
+                f"{entry['a']:.6f} -> {entry['b']:.6f} ({entry['delta']:+.6f})"
+            )
+        for entry in verdict.quality_improvements:
+            lines.append(
+                f"    improved   {entry['class']} {entry['family']}.{entry['metric']}: "
+                f"{entry['a']:.6f} -> {entry['b']:.6f} ({entry['delta']:+.6f})"
+            )
+    else:
+        lines.append("  quality: unchanged")
+
+    if verdict.flips_total:
+        shown = len(verdict.flipped_pairs)
+        suffix = "" if shown == verdict.flips_total else f" (showing {shown})"
+        lines.append(f"  flipped merge decisions: {verdict.flips_total}{suffix}")
+        for flip in verdict.flipped_pairs:
+            attribution = flip["attribution"]
+            lines.append(
+                f"    {_pair(flip['pair'])} [{flip['class']}] {flip['direction']}"
+            )
+            if attribution["channel"] is not None:
+                score_a = attribution["channel_score_a"]
+                score_b = attribution["channel_score_b"]
+                lines.append(
+                    f"      channel {attribution['channel']}: "
+                    f"{0.0 if score_a is None else score_a:.6f} -> "
+                    f"{0.0 if score_b is None else score_b:.6f}"
+                )
+            threshold_a = attribution["threshold_a"]
+            threshold_b = attribution["threshold_b"]
+            if None not in (threshold_a, threshold_b) and threshold_a != threshold_b:
+                lines.append(f"      threshold: {threshold_a} -> {threshold_b}")
+            chain = flip["root_cause"]
+            if len(chain) > 1:
+                steps = " => ".join(
+                    f"{_pair(step['pair'])} ({step['trigger']})" for step in chain
+                )
+                lines.append(f"      root cause: {steps}")
+    else:
+        lines.append("  flipped merge decisions: none")
+
+    if verdict.phase_regressions:
+        for entry in verdict.phase_regressions:
+            ratio = entry["ratio"]
+            ratio_text = "" if ratio is None else f" ({ratio:.3f}x)"
+            lines.append(
+                f"  SLOWDOWN {entry['phase']}: {entry['a_seconds']:.3f}s -> "
+                f"{entry['b_seconds']:.3f}s{ratio_text}"
+            )
+
+    lines.append("  verdict: REGRESSED" if verdict.regressed else "  verdict: clean")
+    return "\n".join(lines)

@@ -31,13 +31,17 @@ __all__ = [
     "TRACE_EVENT_SCHEMA",
     "METRIC_SCHEMA",
     "DECISION_SCHEMA",
+    "MANIFEST_SCHEMA",
     "validate_event",
     "validate_event_log",
     "validate_chrome_trace",
     "validate_metrics_snapshot",
     "validate_decision",
     "validate_provenance_jsonl",
+    "validate_manifest",
     "parse_prometheus",
+    "parse_labels",
+    "unescape_label_value",
 ]
 
 
@@ -81,6 +85,31 @@ METRIC_SCHEMA = {
         "count": {"type": "integer"},
         "sum": {"type": "number"},
         "buckets": {"type": "object"},
+        "labels": {"type": "object"},  # label name -> string value
+    },
+}
+
+#: Run manifest (``run.json``): section -> required keys. Sections are
+#: dicts except ``convergence`` / ``degradations`` (lists). See
+#: :mod:`repro.obs.manifest` for the full field inventory.
+MANIFEST_SCHEMA = {
+    "type": "object",
+    "required": [
+        "manifest_version", "kind", "run", "config", "partition",
+        "quality", "convergence", "counters", "degradations",
+        "execution", "artifacts",
+    ],
+    "properties": {
+        "manifest_version": {"const": 1},
+        "kind": {"const": "repro_run_manifest"},
+        "run": {"required": ["dataset", "algorithm", "references", "completed"]},
+        "partition": {"required": ["digest", "per_class"]},
+        "quality": {"type": "object"},  # class -> {pairwise, bcubed, partitions}
+        "convergence": {"type": "array"},
+        "counters": {"type": "object"},
+        "degradations": {"type": "array"},
+        "execution": {"required": ["resumed", "build_seconds", "iterate_seconds"]},
+        "artifacts": {"type": "object"},  # kind -> path
     },
 }
 
@@ -245,6 +274,129 @@ def validate_provenance_jsonl(path: str | Path) -> int:
                 raise SchemaError(f"{path}:{line_number}: {exc}") from exc
             count += 1
     return count
+
+
+def validate_manifest(obj: dict) -> None:
+    """A run manifest (``run.json``) against :data:`MANIFEST_SCHEMA`."""
+    _require(isinstance(obj, dict), "manifest must be a JSON object")
+    for key in MANIFEST_SCHEMA["required"]:
+        _require(key in obj, f"manifest missing required section {key!r}")
+    _require(
+        obj["manifest_version"] == 1,
+        f"unsupported manifest_version {obj['manifest_version']!r}",
+    )
+    _require(
+        obj["kind"] == "repro_run_manifest",
+        f"manifest kind must be 'repro_run_manifest': {obj['kind']!r}",
+    )
+    for section, spec in MANIFEST_SCHEMA["properties"].items():
+        if "required" not in spec:
+            continue
+        value = obj[section]
+        _require(isinstance(value, dict), f"manifest {section!r} must be an object")
+        for key in spec["required"]:
+            _require(key in value, f"manifest {section}.{key} missing")
+    for section in ("convergence", "degradations"):
+        _require(isinstance(obj[section], list), f"manifest {section!r} must be a list")
+    digest = obj["partition"]["digest"]
+    _require(
+        isinstance(digest, str) and digest.startswith("sha256:") and len(digest) == 71,
+        f"partition digest must be 'sha256:<64 hex>': {digest!r}",
+    )
+    for sample in obj["convergence"]:
+        _require(isinstance(sample, dict), "convergence samples must be objects")
+        for key in ("recomputations", "merges", "queued", "precision", "recall"):
+            _require(key in sample, f"convergence sample missing {key!r}: {sample}")
+            _require(
+                isinstance(sample[key], (int, float)),
+                f"convergence sample {key} must be numeric: {sample[key]!r}",
+            )
+    for class_name, scores in obj["quality"].items():
+        for family in ("pairwise", "bcubed"):
+            _require(
+                family in scores, f"quality[{class_name!r}] missing {family!r}"
+            )
+            for key in ("precision", "recall", "f1"):
+                value = scores[family].get(key)
+                _require(
+                    isinstance(value, (int, float)) and 0.0 <= value <= 1.0,
+                    f"quality[{class_name!r}].{family}.{key} must be in [0, 1]: {value!r}",
+                )
+    for name, count in obj["counters"].items():
+        _require(
+            isinstance(count, int) and count >= 0,
+            f"counter {name!r} must be a non-negative integer: {count!r}",
+        )
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`repro.obs.metrics.escape_label_value`.
+
+    A manual scan (not chained ``str.replace``) so ``\\\\n`` decodes to
+    backslash + ``n``, never to a newline.
+    """
+    out: list[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def parse_labels(sample: str) -> tuple[str, dict[str, str]]:
+    """Split a Prometheus sample name into ``(metric, labels)``.
+
+    ``'repro_run_info{dataset="say \\"B\\""}'`` round-trips back to the
+    raw label values :meth:`MetricsRegistry.absorb_run_info` was given.
+    """
+    brace = sample.find("{")
+    if brace < 0:
+        return sample, {}
+    _require(sample.endswith("}"), f"unterminated label set in {sample!r}")
+    name = sample[:brace]
+    body = sample[brace + 1 : -1]
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(body):
+        equals = body.find("=", index)
+        _require(equals > index, f"malformed label in {sample!r}")
+        key = body[index:equals].strip().lstrip(",").strip()
+        _require(
+            body[equals + 1 : equals + 2] == '"',
+            f"label value for {key!r} must be quoted in {sample!r}",
+        )
+        cursor = equals + 2
+        raw: list[str] = []
+        while cursor < len(body):
+            char = body[cursor]
+            if char == "\\" and cursor + 1 < len(body):
+                raw.append(body[cursor : cursor + 2])
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            cursor += 1
+        _require(
+            cursor < len(body) and body[cursor] == '"',
+            f"unterminated label value for {key!r} in {sample!r}",
+        )
+        labels[key] = unescape_label_value("".join(raw))
+        index = cursor + 1
+        if index < len(body) and body[index] == ",":
+            index += 1
+    return name, labels
 
 
 def parse_prometheus(text: str) -> dict[str, float]:

@@ -28,6 +28,17 @@ resumes cleanly with it off (and vice versa), and byte-identical
 engine state fingerprints identically regardless of observability.
 File-backed sinks open in append mode, so a resumed run continues the
 original run's event log and audit trail coherently.
+
+Convergence samples (:attr:`EngineStats.convergence_samples`, feeding
+the run manifest) are *engine* state, not telemetry: they ride through
+checkpoints inside the stats dict, and because sampling is keyed by
+the checkpointed recomputation counter — never steps or wall-clock —
+a resumed run reproduces an uninterrupted run's samples exactly. That
+is what lets ``run.json`` manifests satisfy their invariance contract
+(:func:`repro.obs.manifest.invariant_view`) across interruptions.
+Checkpoints written before the field existed restore with an empty
+sample list (the dataclass default), so old checkpoint files stay
+loadable.
 """
 
 from __future__ import annotations

@@ -135,3 +135,60 @@ class TestExplainReplay:
         assert "NOT reconciled" in out
         assert "last decision" in out
         assert "[replayed from decision record]" in out
+
+
+@pytest.fixture(scope="module")
+def run_dir(dataset_dir, tmp_path_factory):
+    """One evaluate with --run-dir; returns the run directory."""
+    directory = tmp_path_factory.mktemp("obs_run") / "run"
+    assert main(["evaluate", str(dataset_dir), "--run-dir", str(directory)]) == 0
+    return directory
+
+
+class TestRunDir:
+    def test_manifest_written_and_validates(self, run_dir):
+        from repro.obs import load_manifest, validate_manifest
+
+        assert (run_dir / "run.json").exists()
+        manifest = load_manifest(run_dir)
+        validate_manifest(manifest)
+        assert manifest["run"]["dataset"] == "PIM B"
+        assert manifest["quality"]
+        assert len(manifest["convergence"]) >= 2
+
+    def test_provenance_defaults_into_run_dir(self, run_dir):
+        from repro.obs import load_manifest, resolve_artifact, validate_provenance_jsonl
+
+        manifest = load_manifest(run_dir)
+        provenance = resolve_artifact(manifest, run_dir, "provenance")
+        assert provenance == run_dir / "provenance.jsonl"
+        assert validate_provenance_jsonl(provenance) > 0
+
+    def test_explain_resolves_provenance_from_manifest(
+        self, dataset_dir, run_dir, capsys
+    ):
+        from repro.obs import ProvenanceLog
+
+        prov = ProvenanceLog.from_jsonl(run_dir / "provenance.jsonl")
+        pair = next(iter(prov.merged_pairs()))
+        code = main([
+            "explain", str(dataset_dir), pair[0], pair[1],
+            "--run", str(run_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[replayed from decision record]" in out
+
+    def test_explain_missing_run_provenance_exits_2(
+        self, dataset_dir, tmp_path, capsys
+    ):
+        from repro.obs import build_manifest  # noqa: F401  (import check)
+
+        bare = tmp_path / "bare"
+        bare.mkdir()
+        (bare / "run.json").write_text(
+            json.dumps({"artifacts": {}}) + "\n"
+        )
+        code = main(["explain", str(dataset_dir), "x", "y", "--run", str(bare)])
+        assert code == 2
+        assert "provenance" in capsys.readouterr().err

@@ -1,0 +1,93 @@
+"""Prometheus exposition escaping: label values containing quotes,
+backslashes and newlines must round-trip through to_prometheus ->
+parse_labels unchanged (format 0.0.4 rules)."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    escape_label_value,
+    format_labels,
+    parse_labels,
+    parse_prometheus,
+    unescape_label_value,
+    validate_metrics_snapshot,
+)
+
+HOSTILE_VALUES = [
+    'say "B"',
+    "back\\slash",
+    "line\nbreak",
+    'all \\ of "it"\ntogether',
+    r"literal \n not a newline",
+    "",
+    "plain",
+]
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("value", HOSTILE_VALUES)
+    def test_round_trip(self, value):
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    def test_escape_order_backslash_first(self):
+        # a quote must become \" — not have its backslash re-escaped
+        assert escape_label_value('"') == '\\"'
+        assert escape_label_value("\\") == "\\\\"
+        assert escape_label_value("\n") == "\\n"
+        # literal backslash-n stays distinguishable from a newline
+        assert escape_label_value("\\n") == "\\\\n"
+        assert unescape_label_value("\\\\n") == "\\n"
+        assert unescape_label_value("\\n") == "\n"
+
+    def test_format_labels_sorted_and_quoted(self):
+        rendered = format_labels({"b": "2", "a": 'say "hi"'})
+        assert rendered == '{a="say \\"hi\\"",b="2"}'
+        assert format_labels({}) == ""
+        assert format_labels(None) == ""
+
+
+class TestExpositionRoundTrip:
+    def test_run_info_with_quoted_dataset(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_merges_total", "merges").inc(3)
+        hostile = 'PIM "B" \\ variant\nline2'
+        registry.absorb_run_info(dataset=hostile, algorithm="depgraph")
+        text = registry.to_prometheus()
+
+        samples = parse_prometheus(text)
+        info_keys = [key for key in samples if key.startswith("repro_run_info")]
+        assert len(info_keys) == 1
+        assert samples[info_keys[0]] == 1.0
+        name, labels = parse_labels(info_keys[0])
+        assert name == "repro_run_info"
+        assert labels == {"dataset": hostile, "algorithm": "depgraph"}
+        # the exposition text itself must be single-line per sample
+        for line in text.splitlines():
+            assert not line.startswith("repro_run_info") or "\\n" in line
+
+    def test_absorb_run_info_updates_labels(self):
+        registry = MetricsRegistry()
+        registry.absorb_run_info(dataset="first", algorithm="depgraph")
+        registry.absorb_run_info(dataset="second", algorithm="depgraph")
+        _, labels = parse_labels(
+            next(
+                key
+                for key in parse_prometheus(registry.to_prometheus())
+                if key.startswith("repro_run_info")
+            )
+        )
+        assert labels["dataset"] == "second"
+
+    def test_parse_labels_on_bare_name(self):
+        assert parse_labels("repro_merges_total") == ("repro_merges_total", {})
+
+    def test_snapshot_carries_labels_and_validates(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_merges_total", "merges").inc()
+        registry.absorb_run_info(dataset='d"s', algorithm="depgraph")
+        snapshot = registry.snapshot()
+        assert validate_metrics_snapshot(snapshot) >= 2
+        info = snapshot["repro_run_info"]
+        assert info["labels"] == {"dataset": 'd"s', "algorithm": "depgraph"}
+        assert snapshot["repro_merges_total"].get("labels") is None
