@@ -181,6 +181,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="quarantine malformed records to quarantine.jsonl instead "
             "of aborting the load",
         )
+        runtime.add_argument(
+            "--task-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-task deadline for supervised parallel scoring; a "
+            "chunk past it is treated as hung (pool rebuild + retry)",
+        )
+        runtime.add_argument(
+            "--max-task-retries", type=int, default=None, metavar="N",
+            help="supervised re-executions of a failed scoring chunk "
+            "before bisecting it to isolate the poisoned pair (default 2)",
+        )
+        runtime.add_argument(
+            "--retry-backoff", type=float, default=None, metavar="SECONDS",
+            help="base backoff before the first chunk retry; doubles per "
+            "retry with seeded jitter (default 0.05)",
+        )
 
     tables = commands.add_parser("tables", help="regenerate a paper table")
     tables.add_argument(
@@ -342,10 +357,21 @@ def _run(directory: str, algorithm: str, options=None, telemetry=None):
     domain = _domain_for(dataset.name)
     config = _config_for(algorithm, domain)
     workers = int(getattr(options, "workers", 1) or 1)
+    overrides: dict = {}
     if workers > 1:
+        overrides["workers"] = workers
+        if run_dir is not None:
+            # Poisoned pairs are a run artifact like provenance: default
+            # their quarantine file into the run directory.
+            overrides["poison_log"] = str(run_dir / "poisoned_pairs.jsonl")
+    for attr in ("task_timeout", "max_task_retries", "retry_backoff"):
+        value = getattr(options, attr, None)
+        if value is not None:
+            overrides[attr] = value
+    if overrides:
         from dataclasses import replace
 
-        config = replace(config, workers=workers)
+        config = replace(config, **overrides)
     guard = None
     checkpointer = None
     if options is not None:

@@ -28,7 +28,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
-from ..perf.parallel import ParallelScorer
 from ..perf.scoring import channel_value_pairs, pair_evidence
 from ..runtime.errors import BudgetExceeded, DeadlineExceeded, GuardTripped, QueueEmpty
 from ..runtime.guards import DegradationEvent
@@ -82,6 +81,12 @@ class EngineStats:
     prefilter_skips: int = 0
     #: worker processes the build actually used (1 = serial).
     parallel_workers: int = 1
+    # Supervised-execution counters (parallel build only; see
+    # repro.runtime.supervisor). Plain ints for checkpoint round-trips.
+    task_retries: int = 0
+    task_timeouts: int = 0
+    pool_rebuilds: int = 0
+    pairs_poisoned: int = 0
     per_class_nodes: dict[str, int] = field(default_factory=dict)
     #: convergence samples taken during iterate (plain dicts: keyed by
     #: the recomputation counter, never wall-clock, so a resumed run
@@ -138,6 +143,19 @@ class Reconciler:
         self._built = False
         #: why the last run stopped: "converged" or a degradation kind.
         self.stop_reason = "converged"
+        #: fault-injection seam for the supervised build (mirrors the
+        #: ``step_hook`` seam of :meth:`run`): an opaque object with a
+        #: ``before_chunk`` method, forwarded to scoring workers. None
+        #: in production.
+        self.chaos = None
+        #: pair keys scored as no-merge no matter what the evidence
+        #: says. Populated from a supervised build's poisoned pairs;
+        #: pre-populating it on a serial engine reproduces a poisoned
+        #: run exactly (the soak harness's oracle).
+        self.suppressed_pairs: set = set()
+        # Set when a mid-build scorer failure disabled parallelism for
+        # the remaining classes (the scorer is already shut down).
+        self._parallel_disabled = False
         # Convergence sampling (run manifests): (gold entity_of, every).
         self._convergence: tuple[dict[str, str], int] | None = None
 
@@ -319,6 +337,7 @@ class Reconciler:
             finally:
                 if scorer is not None:
                     scorer.shutdown()
+                    self._absorb_supervision(scorer)
             self._per_class_nodes = per_class_nodes
             with tel.span("wire_association"):
                 self._wire_association_edges(per_class_nodes)
@@ -386,15 +405,31 @@ class Reconciler:
             root = self.uf.find(reference.ref_id)
             self._members.setdefault(root, []).append(reference.ref_id)
 
-    def _make_scorer(self) -> ParallelScorer | None:
-        """A worker pool for the build, or ``None`` to run serially
-        (``workers=1``, or a domain workers cannot rebuild — recorded
-        as a ``parallel_fallback`` degradation, never an error)."""
+    def _make_scorer(self):
+        """A supervised worker pool for the build, or ``None`` to run
+        serially (``workers=1``, or a domain workers cannot rebuild —
+        recorded as a ``parallel_fallback`` degradation, never an
+        error)."""
         self.stats.parallel_workers = 1
+        self._parallel_disabled = False
         if self.config.workers <= 1:
             return None
+        from ..runtime.supervisor import RetryPolicy, SupervisedScorer
+
         try:
-            scorer = ParallelScorer(self.domain, self.config.workers)
+            scorer = SupervisedScorer(
+                self.domain,
+                self.config.workers,
+                RetryPolicy(
+                    max_retries=self.config.max_task_retries,
+                    task_timeout=self.config.task_timeout,
+                    backoff_base=self.config.retry_backoff,
+                ),
+                telemetry=self.telemetry,
+                on_degrade=self._degrade,
+                poison_path=self.config.poison_log,
+                chaos=self.chaos,
+            )
         except Exception as exc:
             self._degrade(
                 DegradationEvent(
@@ -406,8 +441,35 @@ class Reconciler:
         self.stats.parallel_workers = self.config.workers
         return scorer
 
+    def _absorb_supervision(self, scorer) -> None:
+        """Fold a supervised scorer's outcome into engine state: the
+        retry / timeout / rebuild / poison counters, the suppressed
+        pair keys (so force-created nodes respect poisons too), the
+        provenance records, and the worker count actually achieved."""
+        counters = getattr(scorer, "counters", None)
+        if counters is None:
+            return  # a bare ParallelScorer (tests) has no supervision
+        self.stats.task_retries += counters["task_retry"]
+        self.stats.task_timeouts += counters["task_timeout"]
+        self.stats.pool_rebuilds += counters["pool_rebuild"]
+        self.stats.pairs_poisoned += counters["pair_poisoned"]
+        if not self._parallel_disabled:
+            self.stats.parallel_workers = scorer.current_workers
+        prov = self.telemetry.provenance
+        for entry in scorer.poisoned:
+            key = pair_key(entry["pair"][0], entry["pair"][1])
+            self.suppressed_pairs.add(key)
+            if prov is not None:
+                prov.record(
+                    pair=key,
+                    class_name=entry["class"],
+                    decision="pair_poisoned",
+                    score=0.0,
+                    threshold=self.domain.merge_threshold(entry["class"]),
+                )
+
     def _build_class_nodes(
-        self, class_name: str, scorer: ParallelScorer | None = None
+        self, class_name: str, scorer=None
     ) -> list[PairNode]:
         """Blocking + first-pass node construction for one class.
 
@@ -425,6 +487,8 @@ class Reconciler:
             index.add(element, self.domain.blocking_keys(reference))
         channels = self.enabled_atomic_channels(class_name)
         nodes: list[PairNode] = []
+        if self._parallel_disabled:
+            scorer = None
         if scorer is not None:
             pair_list = list(index.pairs())
             evidences = self._score_pairs_parallel(
@@ -450,10 +514,17 @@ class Reconciler:
         return nodes
 
     def _score_pairs_parallel(
-        self, scorer: ParallelScorer, class_name: str, channels, pair_list
+        self, scorer, class_name: str, channels, pair_list
     ):
         """Evidence lists for *pair_list* from the worker pool, or
-        ``None`` (plus a degradation record) when the pool fails."""
+        ``None`` (plus a degradation record) when the pool fails.
+
+        A mid-build pool failure — including ``BrokenProcessPool``
+        from a crashed worker — degrades to a serial build for this
+        and every remaining class; it never escapes as an exception.
+        The failed scorer is shut down immediately so no worker
+        processes outlive the failure.
+        """
         values: dict[str, dict[str, tuple[str, ...]]] = {}
         for pair in pair_list:
             for element in pair:
@@ -470,6 +541,11 @@ class Reconciler:
                 )
             )
             self.stats.parallel_workers = 1
+            self._parallel_disabled = True
+            try:
+                scorer.shutdown()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
             return None
 
     def _make_pair_node(
@@ -481,8 +557,14 @@ class Reconciler:
         With ``force=True`` (strong dependencies that guarantee the
         pair "potentially refers to the same entity") the node is
         created regardless, and even weak value evidence is kept.
+
+        Suppressed (poisoned) pairs never get a node — not even under
+        ``force`` — so a supervised build's quarantine and the serial
+        oracle that replays it take the same decisions everywhere.
         """
         if self.uf.connected(left, right):
+            return None
+        if self.suppressed_pairs and pair_key(left, right) in self.suppressed_pairs:
             return None
         evidence = pair_evidence(
             channels,

@@ -28,6 +28,7 @@ from pathlib import Path
 from ..core.references import Reference, ReferenceStore
 from ..core.schema import Attribute, Schema, SchemaClass, SchemaError
 from ..runtime.errors import DataError
+from ..runtime.fsutil import atomic_write_text
 from .dataset import Dataset
 from .gold import GoldStandard
 
@@ -385,10 +386,15 @@ def load_dataset(
     store.validate()
     gold = _load_gold(path / "gold.jsonl", store, intake)
     if lenient and intake.quarantined:
-        quarantine_path = path / quarantine
-        with open(quarantine_path, "w") as handle:
-            for record in intake.quarantined:
-                handle.write(json.dumps(asdict(record)) + "\n")
+        # Atomic (temp file + os.replace, like checkpoints): a crash
+        # mid-write can never leave a truncated quarantine file behind.
+        atomic_write_text(
+            path / quarantine,
+            "".join(
+                json.dumps(asdict(record)) + "\n"
+                for record in intake.quarantined
+            ),
+        )
     return Dataset(
         name=name, store=store, gold=gold, quarantined=list(intake.quarantined)
     )

@@ -29,10 +29,25 @@ def hit_rate(hits: int, misses: int) -> str:
 
 def render_stats(stats) -> str:
     """The ``--stats`` block from an :class:`~repro.core.engine.EngineStats`."""
+    supervision = {
+        name: getattr(stats, name, 0)
+        for name in ("task_retries", "task_timeouts", "pool_rebuilds", "pairs_poisoned")
+    }
     lines = [
         "engine stats:",
         f"  build {stats.build_seconds:.2f}s, iterate {stats.iterate_seconds:.2f}s "
         f"(workers={stats.parallel_workers})",
+    ]
+    if any(supervision.values()):
+        # Only surfaced when something actually degraded, so the clean
+        # --stats block stays byte-identical to earlier generations.
+        lines.append(
+            "  supervision: retries={task_retries} timeouts={task_timeouts} "
+            "pool_rebuilds={pool_rebuilds} pairs_poisoned={pairs_poisoned}".format(
+                **supervision
+            )
+        )
+    lines += [
         f"  candidate_pairs={stats.candidate_pairs} pair_nodes={stats.pair_nodes} "
         f"value_nodes={stats.value_nodes} graph_nodes={stats.graph_nodes}",
         f"  recomputations={stats.recomputations} merges={stats.merges} "

@@ -15,6 +15,12 @@ Domains that cannot be rebuilt that way (defined in a test function,
 needing constructor arguments) make :class:`ParallelScorer` raise at
 construction; the engine records a ``parallel_fallback`` degradation
 and runs serially.
+
+:class:`ParallelScorer` is the *unsupervised* pool: one failure in any
+chunk aborts the whole ``score`` call (after shutting the pool down,
+so no worker ever leaks). The retrying, bisecting, ladder-degrading
+wrapper lives in :mod:`repro.runtime.supervisor` and reuses this
+module's chunking and worker entry points.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from .scoring import pair_evidence
 
-__all__ = ["ParallelScorer", "domain_spec"]
+__all__ = ["ParallelScorer", "domain_spec", "make_chunks"]
 
 
 def domain_spec(domain) -> str | None:
@@ -48,18 +54,47 @@ def domain_spec(domain) -> str | None:
     return f"{cls.__module__}:{cls.__qualname__}"
 
 
+def make_chunks(
+    class_name: str,
+    channel_names: tuple[str, ...],
+    pairs: list[tuple[str, str]],
+    values: dict[str, dict[str, tuple[str, ...]]],
+    chunk_count: int,
+) -> list[tuple]:
+    """Split *pairs* into ``_score_chunk`` payloads.
+
+    Chunk boundaries depend only on ``len(pairs)`` and *chunk_count*,
+    never on which workers are alive, so the supervisor can retry or
+    bisect a chunk without perturbing the rest of the build. Each chunk
+    ships only the attribute values its own pairs mention.
+    """
+    chunk_size = -(-len(pairs) // chunk_count)
+    chunks = []
+    for start in range(0, len(pairs), chunk_size):
+        chunk_pairs = pairs[start : start + chunk_size]
+        elements = {element for pair in chunk_pairs for element in pair}
+        chunk_values = {element: values[element] for element in elements}
+        chunks.append((class_name, channel_names, chunk_pairs, chunk_values))
+    return chunks
+
+
 # Worker-process state, populated once by the pool initializer. The
 # memo persists across chunks, so repeated value pairs cost one
 # comparator call per *worker*, mirroring the serial build's memo.
 _WORKER: dict = {}
 
 
-def _init_worker(spec: str) -> None:
+def _init_worker(spec: str, chaos=None) -> None:
     module_name, _, qualname = spec.partition(":")
     cls = getattr(importlib.import_module(module_name), qualname)
     _WORKER["domain"] = cls()
     _WORKER["channels"] = {}
     _WORKER["memo"] = {}
+    # Fault-injection seam (tests / chaos soak only): an object with a
+    # ``before_chunk(class_name, pairs, chunk_index)`` method, consulted
+    # before each chunk is scored. Production runs pass None.
+    _WORKER["chaos"] = chaos
+    _WORKER["chunk_index"] = 0
 
 
 def _worker_channels(class_name: str, channel_names: tuple[str, ...]):
@@ -79,6 +114,11 @@ def _worker_channels(class_name: str, channel_names: tuple[str, ...]):
 
 def _score_chunk(payload):
     class_name, channel_names, pairs, values = payload
+    chaos = _WORKER.get("chaos")
+    if chaos is not None:
+        index = _WORKER.get("chunk_index", 0)
+        _WORKER["chunk_index"] = index + 1
+        chaos.before_chunk(class_name, pairs, index)
     channels = _worker_channels(class_name, channel_names)
     memo = _WORKER["memo"]
     return [
@@ -92,10 +132,13 @@ class ParallelScorer:
 
     ``score`` preserves input order exactly: chunk *k*'s results come
     back before chunk *k+1*'s regardless of which worker finished
-    first, so the engine can zip results with pairs.
+    first, so the engine can zip results with pairs. Any failure shuts
+    the pool down before the exception propagates — a failed build
+    never leaks worker processes. The scorer is also a context manager
+    for the same reason.
     """
 
-    def __init__(self, domain, workers: int) -> None:
+    def __init__(self, domain, workers: int, *, chaos=None) -> None:
         spec = domain_spec(domain)
         if spec is None:
             raise ValueError(
@@ -116,8 +159,14 @@ class ParallelScorer:
             max_workers=workers,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(spec,),
+            initargs=(spec, chaos),
         )
+
+    def __enter__(self) -> "ParallelScorer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
 
     def score(
         self,
@@ -129,20 +178,18 @@ class ParallelScorer:
         """Evidence lists for *pairs*, in the same order as *pairs*."""
         if not pairs:
             return []
-        # A few chunks per worker smooths out uneven chunk costs
-        # without drowning the pool in pickling overhead.
-        chunk_count = min(len(pairs), self.workers * 4)
-        chunk_size = -(-len(pairs) // chunk_count)
-        chunks = []
-        for start in range(0, len(pairs), chunk_size):
-            chunk_pairs = pairs[start : start + chunk_size]
-            elements = {element for pair in chunk_pairs for element in pair}
-            chunk_values = {element: values[element] for element in elements}
-            chunks.append((class_name, channel_names, chunk_pairs, chunk_values))
-        results: list[list[tuple[str, str, str, float]]] = []
-        for chunk_result in self._pool.map(_score_chunk, chunks):
-            results.extend(chunk_result)
-        return results
+        try:
+            # A few chunks per worker smooths out uneven chunk costs
+            # without drowning the pool in pickling overhead.
+            chunk_count = min(len(pairs), self.workers * 4)
+            chunks = make_chunks(class_name, channel_names, pairs, values, chunk_count)
+            results: list[list[tuple[str, str, str, float]]] = []
+            for chunk_result in self._pool.map(_score_chunk, chunks):
+                results.extend(chunk_result)
+            return results
+        except BaseException:
+            self.shutdown()
+            raise
 
     def shutdown(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)

@@ -11,8 +11,15 @@ about degradation:
   checkpoints and :class:`Checkpointer`,
 * :mod:`~repro.runtime.degrade` — :class:`ResilientReconciler`, the
   guard-and-fall-back wrapper,
+* :mod:`~repro.runtime.supervisor` — :class:`SupervisedScorer`, the
+  retrying / bisecting / ladder-degrading wrapper around parallel
+  scoring (plus :class:`RetryPolicy`),
+* :mod:`~repro.runtime.fsutil` — :func:`atomic_write_text`, the
+  crash-safe write primitive shared by checkpoints, quarantine files
+  and poisoned-pair logs,
 * :mod:`~repro.runtime.faults` — the deterministic fault-injection
-  harness used by the tests and the CI smoke job.
+  harness (including :class:`ChaosInjector`) used by the tests, the
+  CI smoke jobs and the chaos soak harness.
 
 Only the error taxonomy is imported eagerly: ``repro.core`` raises
 these types itself, so the heavier modules (which import ``repro.core``
@@ -41,9 +48,13 @@ _LAZY = {
     "restore_engine": "checkpoint",
     "save_checkpoint": "checkpoint",
     "ResilientReconciler": "degrade",
+    "ChaosInjector": "faults",
     "CrashAtStep": "faults",
     "corrupt_checkpoint": "faults",
     "inject_malformed_lines": "faults",
+    "atomic_write_text": "fsutil",
+    "RetryPolicy": "supervisor",
+    "SupervisedScorer": "supervisor",
 }
 
 __all__ = [

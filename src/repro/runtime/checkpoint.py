@@ -45,8 +45,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from dataclasses import asdict
 from pathlib import Path
 
@@ -55,6 +53,7 @@ from ..core.graph import DependencyGraph
 from ..core.partition import UnionFind
 from ..core.queue import ActiveQueue
 from .errors import CheckpointError
+from .fsutil import atomic_write_text
 from .guards import DegradationEvent
 
 __all__ = [
@@ -181,23 +180,7 @@ def save_checkpoint(engine: Reconciler, path: str | Path) -> Path:
             "payload": json.loads(body),
         }
     )
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(document)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:  # pragma: no cover - best-effort cleanup
-            pass
-        raise
-    return path
+    return atomic_write_text(path, document)
 
 
 def load_checkpoint(path: str | Path) -> dict:

@@ -2,6 +2,8 @@
 to a serial build — same partitions, same merge trail, same graph
 counters — on every dataset family."""
 
+import multiprocessing
+import time
 from dataclasses import replace
 
 import pytest
@@ -104,6 +106,24 @@ class TestFallback:
     def test_single_worker_pool_rejected(self):
         with pytest.raises(ValueError):
             ParallelScorer(PimDomainModel(), 1)
+
+
+class TestPoolHygiene:
+    def test_failed_score_leaves_no_worker_processes(self):
+        """A failure inside ``score`` shuts the pool down before the
+        exception propagates — a failed build never leaks children."""
+        domain = PimDomainModel()
+        scorer = ParallelScorer(domain, 2)
+        class_name = domain.class_order()[0]
+        pairs = [("x", "y"), ("y", "z")]
+        values = {"x": {}, "y": {}, "z": {}}
+        # An unknown channel name makes every worker raise KeyError.
+        with pytest.raises(Exception):
+            scorer.score(class_name, ("no-such-channel",), pairs, values)
+        deadline = time.monotonic() + 10.0
+        while multiprocessing.active_children() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
 
 
 class TestCliIntegration:

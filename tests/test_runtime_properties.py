@@ -36,13 +36,14 @@ from repro.runtime import (
 from .test_engine_properties import micro_worlds
 
 
-def _crash_and_resume(store_factory, domain, crash_step, *, every=1):
+def _crash_and_resume(store_factory, domain, crash_step, *, every=1, config=None):
     """Run to convergence, then re-run with a crash at *crash_step* and
     resume from the last checkpoint; returns (expected, resumed engine,
-    resumed result)."""
-    uninterrupted = Reconciler(store_factory(), domain)
+    resumed result). *config* (e.g. ``workers=2``) applies to all three
+    runs."""
+    uninterrupted = Reconciler(store_factory(), domain, config)
     expected = uninterrupted.run()
-    engine = Reconciler(store_factory(), domain)
+    engine = Reconciler(store_factory(), domain, config)
     with tempfile.TemporaryDirectory() as tmp:
         checkpointer = Checkpointer(tmp, every=every)
         crash = CrashAtStep(crash_step)
@@ -55,7 +56,7 @@ def _crash_and_resume(store_factory, domain, crash_step, *, every=1):
             # trivially satisfied.
             return expected, uninterrupted, expected
         resumed = Reconciler.resume(
-            checkpointer.path, store=store_factory(), domain=domain
+            checkpointer.path, store=store_factory(), domain=domain, config=config
         )
         result = resumed.run()
     assert resumed.stats.merges == uninterrupted.stats.merges
@@ -106,6 +107,56 @@ class TestCrashResumeAcceptance:
             every=10,
         )
         assert result.partitions == expected.partitions
+
+
+class TestParallelCrashResume:
+    """``--workers N`` and ``--resume`` together: a parallel run that
+    crashes mid-iterate and resumes must stay byte-identical to an
+    uninterrupted *serial* run — checkpoints carry no worker state, and
+    the build's parallel scoring is itself deterministic."""
+
+    @staticmethod
+    def _parallel_config():
+        from dataclasses import replace
+
+        from repro.core import EngineConfig
+
+        return replace(EngineConfig(), workers=2)
+
+    @pytest.mark.parametrize("name", ["A", "B", "C", "D"])
+    def test_pim_datasets(self, name):
+        dataset = generate_pim_dataset(name, scale=0.12, seed=11)
+        domain = PimDomainModel()
+        refs = list(dataset.store)
+        serial = Reconciler(ReferenceStore(domain.schema, refs), domain).run()
+        expected, _, result = _crash_and_resume(
+            lambda: ReferenceStore(domain.schema, refs),
+            domain,
+            crash_step=25,
+            every=10,
+            config=self._parallel_config(),
+        )
+        assert result.partitions == serial.partitions
+        assert expected.partitions == serial.partitions
+
+    def test_cora_like(self):
+        from repro.datasets.cora import CoraConfig
+
+        dataset = generate_cora_dataset(
+            CoraConfig(n_papers=10, n_citations=80, n_authors=25, n_venues=5, seed=5)
+        )
+        domain = CoraDomainModel()
+        refs = list(dataset.store)
+        serial = Reconciler(ReferenceStore(domain.schema, refs), domain).run()
+        expected, _, result = _crash_and_resume(
+            lambda: ReferenceStore(domain.schema, refs),
+            domain,
+            crash_step=25,
+            every=10,
+            config=self._parallel_config(),
+        )
+        assert result.partitions == serial.partitions
+        assert expected.partitions == serial.partitions
 
 
 class TestQuarantineIngestion:
