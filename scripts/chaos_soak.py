@@ -3,8 +3,9 @@
 
 Runs dataset B under randomized-but-seeded fault schedules — worker
 kills (once / persistent), worker hangs, injected comparator faults
-for real candidate pairs — and asserts the robustness contract of the
-supervised scorer (``repro.runtime.supervisor``) for every schedule:
+for real candidate pairs, and speculative-iterate faults (children
+SIGKILLed or raising mid-chunk) — and asserts the robustness contract
+of the supervised execution layer for every schedule:
 
 * the run never raises and never leaks a worker process;
 * a run that completes with **no** poisoned pairs produces partitions
@@ -45,7 +46,21 @@ from repro.datasets import generate_pim_dataset  # noqa: E402
 from repro.domains import PimDomainModel  # noqa: E402
 from repro.runtime import ChaosInjector  # noqa: E402
 
-FAULT_KINDS = ("none", "kill_once", "kill_persistent", "hang_once", "raise_pair")
+FAULT_KINDS = (
+    "none",
+    "kill_once",
+    "kill_persistent",
+    "hang_once",
+    "raise_pair",
+    "iterate_kill",
+    "iterate_raise",
+)
+
+#: Schedules exercising the speculative iterate executor instead of the
+#: build pool: serial build (workers=1), speculative iterate. Their
+#: faults can only drop speculation chunks — the contract is always
+#: partition identity, never an oracle match.
+ITERATE_KINDS = ("iterate_kill", "iterate_raise")
 
 DATASET = "B"
 DATASET_SEED = 0
@@ -92,6 +107,15 @@ def _chaos_for(kind: str, rng: Random, marker_dir: str, pair_pool):
         )
     if kind == "raise_pair":
         return ChaosInjector(raise_pairs=(rng.choice(pair_pool),))
+    if kind == "iterate_kill":
+        # Persistent: every forked iterate child SIGKILLs itself, so
+        # every chunk (and its retries) dies — the supervisor must walk
+        # its ladder down to the plain serial loop.
+        return ChaosInjector(kill_every=1)
+    if kind == "iterate_raise":
+        # A deterministic comparator bug in ~1/4 of iterate chunks:
+        # those chunks are dropped and their keys recomputed in-line.
+        return ChaosInjector(raise_pair_crc_mod=4, raise_pair_crc_rem=rng.randrange(4))
     raise SystemExit(f"unknown fault kind {kind!r}")
 
 
@@ -113,12 +137,23 @@ def _run_schedule(index: int, kind: str, rng: Random, args, baseline_text, pair_
         markers.mkdir()
         poison_log = Path(tmp) / "poisoned_pairs.jsonl"
         chaos = _chaos_for(kind, rng, str(markers), pair_pool)
-        config = EngineConfig(
-            workers=args.workers,
-            task_timeout=TASK_TIMEOUT,
-            retry_backoff=RETRY_BACKOFF,
-            poison_log=str(poison_log),
-        )
+        if kind in ITERATE_KINDS:
+            # Serial build keeps build-side chaos out of the way; the
+            # fault schedule targets only the speculative iterate.
+            config = EngineConfig(
+                iterate_workers=args.iterate_workers,
+                iterate_batch=32,
+                task_timeout=TASK_TIMEOUT,
+                retry_backoff=RETRY_BACKOFF,
+                poison_log=str(poison_log),
+            )
+        else:
+            config = EngineConfig(
+                workers=args.workers,
+                task_timeout=TASK_TIMEOUT,
+                retry_backoff=RETRY_BACKOFF,
+                poison_log=str(poison_log),
+            )
         engine = Reconciler(_store(args.scale), PimDomainModel(), config)
         engine.chaos = chaos
         try:
@@ -139,6 +174,12 @@ def _run_schedule(index: int, kind: str, rng: Random, args, baseline_text, pair_
                 "task_timeouts": stats.task_timeouts,
                 "pool_rebuilds": stats.pool_rebuilds,
                 "pairs_poisoned": stats.pairs_poisoned,
+                "speculation_dropped": stats.speculation_dropped,
+            },
+            speculation={
+                "speculated": stats.speculated_nodes,
+                "hits": stats.speculation_hits,
+                "invalidated": stats.speculation_invalidated,
             },
             degradations=sorted({e.kind for e in stats.degradations}),
         )
@@ -199,6 +240,14 @@ def _expected_counters_fired(row: dict) -> str | None:
         return "hang schedule recorded no task timeout"
     if kind == "raise_pair" and not counters.get("pairs_poisoned"):
         return "raise schedule poisoned no pair"
+    if kind in ITERATE_KINDS and not counters.get("speculation_dropped"):
+        return "iterate fault schedule dropped no speculation chunk"
+    if kind == "iterate_kill" and "parallel_fallback" not in row.get(
+        "degradations", []
+    ):
+        return "persistent iterate kills did not descend the ladder to serial"
+    if kind in ITERATE_KINDS and counters.get("pairs_poisoned"):
+        return "iterate fault schedule must never poison a pair"
     if kind == "none" and any(counters.values()):
         return f"clean schedule recorded supervision activity: {counters}"
     return None
@@ -210,6 +259,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--scale", type=float, default=0.15)
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--iterate-workers", type=int, default=2,
+        help="speculative iterate workers for iterate_* schedules",
+    )
     parser.add_argument(
         "--faults", default=None, metavar="KIND[,KIND...]",
         help=f"pin the schedule kinds (cycled) from {', '.join(FAULT_KINDS)}",

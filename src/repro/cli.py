@@ -150,6 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
             "(default 1 = serial)",
         )
         perf.add_argument(
+            "--iterate-workers", type=int, default=1, metavar="N",
+            help="forked workers speculatively scoring the iterate loop's "
+            "upcoming queue window; results are byte-identical to the "
+            "serial loop (default 1 = no speculation)",
+        )
+        perf.add_argument(
+            "--iterate-batch", type=int, default=64, metavar="KEYS",
+            help="speculation window: how many queue-head keys may be in "
+            "flight at once (default 64; execution-shaping only, never "
+            "affects results)",
+        )
+        perf.add_argument(
             "--stats", action="store_true",
             help="print engine statistics (timings, counters, cache hit "
             "rates) to stderr after the run",
@@ -357,7 +369,13 @@ def _run(directory: str, algorithm: str, options=None, telemetry=None):
     domain = _domain_for(dataset.name)
     config = _config_for(algorithm, domain)
     workers = int(getattr(options, "workers", 1) or 1)
+    iterate_workers = int(getattr(options, "iterate_workers", 1) or 1)
     overrides: dict = {}
+    if iterate_workers > 1:
+        overrides["iterate_workers"] = iterate_workers
+        iterate_batch = getattr(options, "iterate_batch", None)
+        if iterate_batch:
+            overrides["iterate_batch"] = int(iterate_batch)
     if workers > 1:
         overrides["workers"] = workers
         if run_dir is not None:
@@ -397,6 +415,7 @@ def _run(directory: str, algorithm: str, options=None, telemetry=None):
             algorithm=algorithm,
             references=len(dataset.store),
             workers=workers,
+            iterate_workers=iterate_workers,
         )
     resume_path = getattr(options, "resume", None) if options is not None else None
     if resume_path:

@@ -87,6 +87,17 @@ class EngineStats:
     task_timeouts: int = 0
     pool_rebuilds: int = 0
     pairs_poisoned: int = 0
+    #: iterate worker processes actually used (1 = serial iterate).
+    iterate_workers: int = 1
+    # Speculative-iterate counters (see repro.perf.speculate). All
+    # execution-dependent: they never appear in a manifest's invariant
+    # view, and defaults keep old checkpoints loadable.
+    speculated_nodes: int = 0
+    speculation_hits: int = 0
+    speculation_invalidated: int = 0
+    speculation_dropped: int = 0
+    #: ActiveQueue deque rebuilds triggered by stale-entry buildup.
+    queue_compactions: int = 0
     per_class_nodes: dict[str, int] = field(default_factory=dict)
     #: convergence samples taken during iterate (plain dicts: keyed by
     #: the recomputation counter, never wall-clock, so a resumed run
@@ -156,6 +167,11 @@ class Reconciler:
         # Set when a mid-build scorer failure disabled parallelism for
         # the remaining classes (the scorer is already shut down).
         self._parallel_disabled = False
+        #: read-set capture hook for speculative iterate: ``None`` in
+        #: the parent (zero overhead beyond one attribute test per
+        #: evidence read); a :class:`~repro.perf.speculate.ReadRecorder`
+        #: inside iterate workers while :meth:`_compute` runs.
+        self._read_recorder = None
         # Convergence sampling (run manifests): (gold entity_of, every).
         self._convergence: tuple[dict[str, str], int] | None = None
 
@@ -243,6 +259,13 @@ class Reconciler:
     def _element_values(self, element: str) -> Mapping[str, tuple[str, ...]]:
         """Pooled attribute values of the element's cluster (enrichment)
         or the single reference's own values."""
+        if self._read_recorder is not None:
+            # In enrich mode an element *is* a cluster root and its
+            # pooled values can only change when that root merges; in
+            # non-enrich mode values are immutable and the entry is
+            # harmless. Either way, recording the element makes a
+            # speculative score invalid the moment the cluster moves.
+            self._read_recorder.roots.add(element)
         if not self.config.enrich:
             return self.store.get(element).values
         cached = self._values_cache.get(element)
@@ -787,6 +810,99 @@ class Reconciler:
             if checkpointer.maybe_save(self, 0) is not None:
                 tel.emit("info", "checkpoint_saved", step=0)
                 tel.instant("checkpoint", step=0)
+        speculator = self._make_speculator()
+        try:
+            step, trip, chunk_start, chunk_step, chunk_merges = self._iterate_loop(
+                guard=guard,
+                checkpointer=checkpointer,
+                step_hook=step_hook,
+                speculator=speculator,
+                budget=budget,
+                instrumented=instrumented,
+                recompute_hist=recompute_hist,
+                queue_hist=queue_hist,
+                tracer=tracer,
+                chunk_start=chunk_start,
+                chunk_step=chunk_step,
+                chunk_merges=chunk_merges,
+            )
+        finally:
+            # Close the pool (and unhook the ledger) on *every* exit
+            # path — injected faults and guard trips included — so a
+            # speculative run can never leak worker processes.
+            if speculator is not None:
+                speculator.close()
+        if self._convergence is not None:
+            self._sample_convergence(final=True)
+        if tracer is not None:
+            if step > chunk_step:
+                tracer.complete(
+                    "iterate_chunk",
+                    chunk_start,
+                    tracer.now() - chunk_start,
+                    from_step=chunk_step,
+                    to_step=step,
+                    merges=self.stats.merges - chunk_merges,
+                )
+            tracer.complete(
+                "iterate",
+                iterate_offset,
+                tracer.now() - iterate_offset,
+                steps=step,
+                stop_reason=self.stop_reason,
+            )
+        self.stats.iterate_seconds += time.perf_counter() - started
+        self.stats.queue_front_pushes = self.queue.pushed_front
+        self.stats.queue_back_pushes = self.queue.pushed_back
+        self.stats.queue_compactions = self.queue.compactions
+        self.stats.fusions = self.graph.fusions
+        self._sync_feature_cache_stats()
+        if instrumented:
+            tel.emit(
+                "info",
+                "iterate_end",
+                stop_reason=self.stop_reason,
+                steps=step,
+                seconds=round(self.stats.iterate_seconds, 6),
+                merges=self.stats.merges,
+                non_merges=self.stats.non_merges,
+            )
+            if tel.metrics is not None:
+                tel.metrics.absorb_stats(self.stats)
+        if trip is not None and raise_on_trip:
+            raise trip
+        return self._result()
+
+    def _iterate_loop(
+        self,
+        *,
+        guard,
+        checkpointer,
+        step_hook,
+        speculator,
+        budget,
+        instrumented,
+        recompute_hist,
+        queue_hist,
+        tracer,
+        chunk_start,
+        chunk_step,
+        chunk_merges,
+    ):
+        """The §3.2 pop/process loop, extracted so :meth:`run` can hold
+        the speculator in a try/finally.
+
+        With *speculator* set, each pop first claims any validated
+        speculative score for its key; the loop structure, pop order,
+        push no-op semantics and every side effect stay exactly the
+        serial ones — speculation only replaces the in-line
+        :meth:`_compute` call with a proven-equal cached value. Returns
+        ``(step, trip, chunk_start, chunk_step, chunk_merges)`` for the
+        caller's final trace flush.
+        """
+        tel = self.telemetry
+        step = 0
+        trip: GuardTripped | None = None
         while self.queue:
             if self._convergence is not None:
                 self._sample_convergence()
@@ -818,19 +934,29 @@ class Reconciler:
                     break
             if step_hook is not None:
                 step_hook(self, step)
+            if speculator is not None:
+                speculator.maybe_refill(self.queue)
             try:
                 key = self.queue.pop()
             except QueueEmpty:  # lazy-discard race: only stale keys left
                 break
             node = self.graph.get_key(key)
             if node is None or node.status is not NodeStatus.ACTIVE:
+                # Drop (never block on) any in-flight speculation for a
+                # key whose node died while queued — transitive merges
+                # resolve whole swaths of queued pairs, and waiting on a
+                # child for a result the loop won't use wastes the
+                # wavefront.
+                if speculator is not None:
+                    speculator.forget(key)
                 continue
+            speculative = speculator.claim(key) if speculator is not None else None
             node.status = NodeStatus.INACTIVE
             if instrumented:
                 if queue_hist is not None:
                     queue_hist.observe(len(self.queue) + 1)
                     step_started = time.perf_counter()
-                self._process(node)
+                changed = self._process(node, speculative=speculative)
                 if recompute_hist is not None:
                     recompute_hist.observe(time.perf_counter() - step_started)
                 if step % _ITERATE_CHUNK == _ITERATE_CHUNK - 1:
@@ -856,51 +982,55 @@ class Reconciler:
                         chunk_step = step + 1
                         chunk_merges = self.stats.merges
             else:
-                self._process(node)
+                changed = self._process(node, speculative=speculative)
+            if speculator is not None and changed:
+                speculator.note_commit(key, node.key)
             step += 1
             if checkpointer is not None:
                 if checkpointer.maybe_save(self, step) is not None:
                     tel.emit("info", "checkpoint_saved", step=step)
                     tel.instant("checkpoint", step=step)
-        if self._convergence is not None:
-            self._sample_convergence(final=True)
-        if tracer is not None:
-            if step > chunk_step:
-                tracer.complete(
-                    "iterate_chunk",
-                    chunk_start,
-                    tracer.now() - chunk_start,
-                    from_step=chunk_step,
-                    to_step=step,
-                    merges=self.stats.merges - chunk_merges,
+        return step, trip, chunk_start, chunk_step, chunk_merges
+
+    def _make_speculator(self):
+        """A speculative batched iterate executor, or ``None`` to run
+        the loop serially (``iterate_workers=1``, or an environment
+        the fork-based executor cannot run in — recorded as a
+        ``speculation_fallback`` degradation, never an error)."""
+        self.stats.iterate_workers = 1
+        if self.config.iterate_workers <= 1:
+            return None
+        from ..perf.speculate import SpeculativeExecutor
+        from ..runtime.supervisor import IterateSupervisor, RetryPolicy
+
+        try:
+            supervisor = IterateSupervisor(
+                self,
+                self.config.iterate_workers,
+                RetryPolicy(
+                    max_retries=self.config.max_task_retries,
+                    task_timeout=self.config.task_timeout,
+                    backoff_base=self.config.retry_backoff,
+                ),
+                telemetry=self.telemetry,
+                on_degrade=self._degrade,
+                chaos=self.chaos,
+            )
+        except Exception as exc:
+            self._degrade(
+                DegradationEvent(
+                    kind="speculation_fallback",
+                    detail=f"serial iterate: {exc}",
                 )
-            tracer.complete(
-                "iterate",
-                iterate_offset,
-                tracer.now() - iterate_offset,
-                steps=step,
-                stop_reason=self.stop_reason,
             )
-        self.stats.iterate_seconds += time.perf_counter() - started
-        self.stats.queue_front_pushes = self.queue.pushed_front
-        self.stats.queue_back_pushes = self.queue.pushed_back
-        self.stats.fusions = self.graph.fusions
-        self._sync_feature_cache_stats()
-        if instrumented:
-            tel.emit(
-                "info",
-                "iterate_end",
-                stop_reason=self.stop_reason,
-                steps=step,
-                seconds=round(self.stats.iterate_seconds, 6),
-                merges=self.stats.merges,
-                non_merges=self.stats.non_merges,
-            )
-            if tel.metrics is not None:
-                tel.metrics.absorb_stats(self.stats)
-        if trip is not None and raise_on_trip:
-            raise trip
-        return self._result()
+            return None
+        self.stats.iterate_workers = self.config.iterate_workers
+        return SpeculativeExecutor(
+            self,
+            supervisor,
+            batch=self.config.iterate_batch,
+            telemetry=self.telemetry,
+        )
 
     @classmethod
     def resume(
@@ -937,7 +1067,21 @@ class Reconciler:
         )
         return engine
 
-    def _process(self, node: PairNode) -> None:
+    def _process(self, node: PairNode, speculative=None) -> bool:
+        """Take the decision for one popped node.
+
+        *speculative*, when given, is a validated
+        :class:`~repro.perf.speculate.SpecResult` for this node: its
+        score and capture stand in for :meth:`_compute` (every read the
+        worker made is proven untouched since, so the value is exactly
+        what the in-line compute would return). All side effects —
+        marking, merging, propagation, provenance — always happen here,
+        so a speculative step is byte-identical to a serial one.
+
+        Returns True when the node's *observable* state changed (score
+        or status), i.e. when neighbours that read this node during a
+        speculation must be invalidated.
+        """
         prov = self.telemetry.provenance
         if self.uf.connected(node.left, node.right):
             node.status = NodeStatus.MERGED
@@ -954,13 +1098,19 @@ class Reconciler:
                     trigger_pair=trigger_pair,
                     recompute_index=node.recompute_count,
                 )
-            return
+            return True
         old_score = node.score
         capture: dict | None = {} if prov is not None else None
-        new_score = self._compute(node, capture)
+        if speculative is not None:
+            new_score = speculative.score
+            if capture is not None and speculative.capture is not None:
+                capture.update(speculative.capture)
+        else:
+            new_score = self._compute(node, capture)
         node.recompute_count += 1
         self.stats.recomputations += 1
-        if new_score is None:  # marked non-merge by a conflict
+        if new_score is None:  # a conflict: mark non-merge (or late merge)
+            self._mark_non_merge(node)
             if prov is not None:
                 self._record_decision(
                     prov,
@@ -970,7 +1120,7 @@ class Reconciler:
                     if node.status is NodeStatus.MERGED
                     else "non_merge_conflict",
                 )
-            return
+            return True
         # Monotone by construction; the max() enforces the §3.2
         # termination requirement even for imperfect domain functions.
         node.score = max(old_score, new_score)
@@ -984,12 +1134,13 @@ class Reconciler:
                     capture,
                     "merge" if node.status is NodeStatus.MERGED else "non_merge_enemy",
                 )
-        else:
-            if increased and self.config.propagate:
-                for neighbour in self.graph.real_out_nodes(node):
-                    self._activate(neighbour, front=False, cause="real", source=node)
-            if prov is not None:
-                self._record_decision(prov, node, capture, "defer")
+            return True
+        if increased and self.config.propagate:
+            for neighbour in self.graph.real_out_nodes(node):
+                self._activate(neighbour, front=False, cause="real", source=node)
+        if prov is not None:
+            self._record_decision(prov, node, capture, "defer")
+        return node.score != old_score
 
     def _record_decision(
         self, prov, node: PairNode, capture: dict | None, decision: str
@@ -1028,9 +1179,12 @@ class Reconciler:
         if config.constraints and domain.conflict(
             node.class_name, left_values, right_values
         ):
+            # Pure sentinel: the caller (:meth:`_process`) applies the
+            # non-merge marking, so speculative workers can run
+            # ``_compute`` without mutating their forked state.
             if capture is not None:
                 capture["conflict"] = True
-            return self._mark_non_merge(node)
+            return None
         evidence: dict[str, float] = {}
         key_match = False
         for channel in domain.atomic_channels(node.class_name):
@@ -1075,6 +1229,15 @@ class Reconciler:
             return None
         left_elements = sorted({self._elem(t) for t in left_targets})
         right_elements = sorted({self._elem(t) for t in right_targets})
+        recorder = self._read_recorder
+        if recorder is not None:
+            # The link structure read below is a function of the target
+            # elements' roots and the linked nodes' scores; record the
+            # roots once and every consulted pair node below.
+            for element in left_elements:
+                recorder.roots.add(self.uf.find(element))
+            for element in right_elements:
+                recorder.roots.add(self.uf.find(element))
         scored: list[tuple[float, str, str]] = []
         for element_l in left_elements:
             for element_r in right_elements:
@@ -1082,6 +1245,12 @@ class Reconciler:
                     scored.append((1.0, element_l, element_r))
                     continue
                 linked = self.graph.get(element_l, element_r)
+                if recorder is not None:
+                    recorder.pairs.add(
+                        linked.key
+                        if linked is not None
+                        else self.graph.resolve(pair_key(element_l, element_r))
+                    )
                 if linked is not None and not linked.is_non_merge:
                     score = 1.0 if linked.is_merged else linked.score
                     if score > 0.0:
@@ -1108,7 +1277,15 @@ class Reconciler:
         collapsed into one real-world article (or article pair) are one
         unit of evidence, not many."""
         seen_entity_pairs: set = set()
+        recorder = self._read_recorder
         for neighbour in self.graph.strong_in_nodes(node):
+            if recorder is not None:
+                # The count depends on each neighbour's merged status
+                # (flips via a commit on its key) and on its element
+                # roots (the entity-pair dedup); record both.
+                recorder.pairs.add(neighbour.key)
+                recorder.roots.add(self.uf.find(neighbour.left))
+                recorder.roots.add(self.uf.find(neighbour.right))
             if neighbour.is_merged:
                 seen_entity_pairs.add(
                     pair_key(self.uf.find(neighbour.left), self.uf.find(neighbour.right))
@@ -1122,12 +1299,20 @@ class Reconciler:
             return 0
         left_roots = self._contact_roots(node.left, node.class_name)
         right_roots = self._contact_roots(node.right, node.class_name)
+        recorder = self._read_recorder
+        if recorder is not None:
+            # Every contact root read feeds the common-contact count; a
+            # later merge moving any of them must invalidate the score.
+            recorder.roots.update(left_roots)
+            recorder.roots.update(right_roots)
         if not left_roots or not right_roots:
             return 0
         common = left_roots & right_roots
         if not common:
             return 0
         exclude = {self.uf.find(node.left), self.uf.find(node.right)}
+        if recorder is not None:
+            recorder.roots.update(exclude)
         return len(common - exclude)
 
     def _mark_non_merge(self, node: PairNode) -> None:

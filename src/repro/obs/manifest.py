@@ -189,6 +189,18 @@ def build_manifest(
             "cache_hit_rates": _cache_rates(stats),
             "prefilter_skips": stats.prefilter_skips,
             "parallel_workers": stats.parallel_workers,
+            # Speculation counters are execution-dependent (they vary
+            # with timing and worker count even though results never
+            # do), so they live here, NOT in the identity-checked
+            # "counters" section.
+            "iterate_workers": getattr(stats, "iterate_workers", 1),
+            "speculation": {
+                "speculated": getattr(stats, "speculated_nodes", 0),
+                "hits": getattr(stats, "speculation_hits", 0),
+                "invalidated": getattr(stats, "speculation_invalidated", 0),
+                "dropped": getattr(stats, "speculation_dropped", 0),
+            },
+            "queue_compactions": getattr(stats, "queue_compactions", 0),
             "generated_at": round(time.time(), 3),
         },
         "artifacts": dict(artifacts or {}),

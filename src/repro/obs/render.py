@@ -47,6 +47,18 @@ def render_stats(stats) -> str:
                 **supervision
             )
         )
+    speculated = getattr(stats, "speculated_nodes", 0)
+    if speculated:
+        # Mirrors the supervision line: present only when the iterate
+        # loop actually ran speculatively.
+        hits = getattr(stats, "speculation_hits", 0)
+        lines.append(
+            f"  speculation: workers={getattr(stats, 'iterate_workers', 1)} "
+            f"speculated={speculated} "
+            f"hit rate {hit_rate(hits, speculated - hits)} "
+            f"invalidated={getattr(stats, 'speculation_invalidated', 0)} "
+            f"dropped={getattr(stats, 'speculation_dropped', 0)}"
+        )
     lines += [
         f"  candidate_pairs={stats.candidate_pairs} pair_nodes={stats.pair_nodes} "
         f"value_nodes={stats.value_nodes} graph_nodes={stats.graph_nodes}",

@@ -31,7 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from .scoring import pair_evidence
 
-__all__ = ["ParallelScorer", "domain_spec", "make_chunks"]
+__all__ = ["ParallelScorer", "domain_spec", "iterate_chunk", "make_chunks"]
 
 
 def domain_spec(domain) -> str | None:
@@ -125,6 +125,27 @@ def _score_chunk(payload):
         pair_evidence(channels, values[left], values[right], memo)
         for left, right in pairs
     ]
+
+
+def iterate_chunk(engine, keys, chaos, chunk_index: int):
+    """Child-side entry for one speculative iterate chunk.
+
+    Runs inside a process forked directly off the engine's own, so
+    *engine* is the inherited copy-on-write snapshot — no spec, no
+    values shipping, just the key list. The same fault seam as build
+    chunks applies, under the pseudo class name ``__iterate__``;
+    *chunk_index* is the parent's submission counter, so chaos
+    schedules target iterate chunks as deterministically as build
+    chunks.
+    """
+    if chaos is not None:
+        from ..runtime.faults import mark_forked_worker
+
+        mark_forked_worker()
+        chaos.before_chunk("__iterate__", list(keys), chunk_index)
+    from .speculate import speculate_keys
+
+    return speculate_keys(engine, keys)
 
 
 class ParallelScorer:

@@ -1,0 +1,454 @@
+"""Speculative batched parallel iterate: wavefront execution of §3.2.
+
+The iterate loop is inherently sequential — each decision may change
+the evidence the next one reads — but in practice most simultaneously
+*active* nodes are independent: they read disjoint clusters, disjoint
+contact sets and disjoint neighbour scores. This module exploits that
+independence without ever trusting it:
+
+* the executor **peeks** (never pops) the next window of live keys and
+  fans them out in chunks, each chunk forked directly off the engine's
+  process (:class:`~repro.runtime.supervisor.IterateSupervisor`), so
+  every chunk scores against a copy-on-write snapshot taken *at its
+  own submission*; the child runs the engine's own
+  :meth:`~repro.core.engine.Reconciler._compute` while recording every
+  read (cluster roots consulted, pair nodes whose score or status was
+  used);
+* the parent's pop/process loop is byte-for-byte the serial loop; at
+  each pop it *claims* the speculative result for that key and
+  **validates** it against a ledger of everything that changed since
+  that chunk's fork — cluster roots touched by a union, pair keys
+  whose node's observable state a commit changed — using monotone
+  sequence numbers, so each chunk is judged against exactly the
+  commits it could not have seen;
+* a validated result stands in for the in-line ``_compute`` (same
+  pure function, proven-unchanged inputs ⇒ same value); an
+  invalidated, stale, or missing one simply falls back to computing
+  in-line. Either way the commit, propagation, queue pushes and
+  provenance records all happen in the parent, in pop order.
+
+Hence the determinism argument is *by construction*: speculation is a
+validated cache in front of a pure function, and the serial loop never
+changes shape. The only deltas a speculative run can show are
+execution-dependent counters (speculation/hit/invalidation counts).
+
+Failure handling rides on the supervisor: retries (fresh forks),
+deadlines, and the crash ladder all end, at worst, in a *dropped*
+speculation — never a poisoned pair, never a changed result.
+"""
+
+from __future__ import annotations
+
+import gc
+
+from ..core.nodes import NodeStatus
+
+__all__ = [
+    "ReadRecorder",
+    "SpecResult",
+    "SpeculationLedger",
+    "SpeculativeExecutor",
+    "speculate_keys",
+]
+
+
+class ReadRecorder:
+    """Accumulates one speculative ``_compute``'s read set.
+
+    ``roots`` — cluster roots (and, in non-enrich mode, raw reference
+    ids, whose values are immutable and therefore harmless) whose
+    movement would change the computation. ``pairs`` — resolved pair
+    keys whose node's score or merged status was consulted.
+    """
+
+    __slots__ = ("roots", "pairs")
+
+    def __init__(self) -> None:
+        self.roots: set = set()
+        self.pairs: set = set()
+
+
+class SpecResult:
+    """A validated speculative score, ready to stand in for
+    ``_compute``: ``score`` is ``None`` for a conflict (the parent
+    applies the non-merge marking), ``capture`` is the provenance
+    evidence the child assembled (identical, field for field, to what
+    the in-line compute would have filled in)."""
+
+    __slots__ = ("outcome", "score", "capture")
+
+    def __init__(self, outcome: str, score: float | None, capture: dict | None):
+        self.outcome = outcome
+        self.score = score
+        self.capture = capture
+
+
+def speculate_keys(engine, keys) -> list[dict]:
+    """Child-side scoring of *keys* against the forked snapshot.
+
+    Returns one payload per key, in order. ``stale`` payloads carry no
+    score — the node was already resolved (or transitively connected)
+    in the snapshot, so the parent's own liveness/connectivity
+    prechecks will handle it. Scored payloads carry the read set for
+    validation. Nothing here mutates any state the parent will ever
+    see: the engine is a copy-on-write fork, and ``_compute`` itself
+    is pure.
+    """
+    uf = engine.uf
+    graph = engine.graph
+    out: list[dict] = []
+    for key in keys:
+        node = graph.get_key(key)
+        if node is None or node.status is not NodeStatus.ACTIVE:
+            out.append({"key": key, "outcome": "stale"})
+            continue
+        if uf.connected(node.left, node.right):
+            # Connectivity is monotone, so the parent's live precheck
+            # takes the transitive-merge path no matter what we say.
+            out.append({"key": key, "outcome": "stale"})
+            continue
+        recorder = ReadRecorder()
+        recorder.roots.add(uf.find(node.left))
+        recorder.roots.add(uf.find(node.right))
+        capture: dict = {}
+        engine._read_recorder = recorder
+        try:
+            score = engine._compute(node, capture)
+        finally:
+            engine._read_recorder = None
+        out.append(
+            {
+                "key": key,
+                "outcome": "conflict" if score is None else "score",
+                "score": score,
+                "capture": capture,
+                "roots": sorted(recorder.roots),
+                "pairs": sorted(recorder.pairs),
+            }
+        )
+    return out
+
+
+class SpeculationLedger:
+    """Monotone log of everything speculation-visible that changed.
+
+    Every union (fed by a union-find listener: both the survivor *and*
+    the absorbed root) and every state-changing commit advances a
+    sequence number and stamps the touched root / pair key with it. A
+    chunk forked when the sequence stood at *S* is valid for a read
+    exactly when nothing it read was stamped after *S* — so chunks
+    forked at different moments are each judged against precisely the
+    commits their snapshot missed, with no epochs to reset and no
+    global staleness creep.
+
+    The dirty-root rule is sound because union stamps are transitive
+    within the stamp order: the first union touching a cluster stamps
+    the root the chunk saw; later unions involving that cluster stamp
+    the then-current roots, which are reachable only through earlier
+    stamped unions. Pair keys additionally check their two component
+    elements against dirty roots — fusion re-keys a node only when a
+    union dirtied its elements, so alias movement is always caught.
+    """
+
+    def __init__(self, uf) -> None:
+        self._uf = uf
+        self.seq = 0
+        self.dirty_roots: dict = {}
+        self.committed_pairs: dict = {}
+        uf.add_union_listener(self._on_union)
+
+    def _on_union(self, survivor, absorbed) -> None:
+        self.seq += 1
+        self.dirty_roots[survivor] = self.seq
+        self.dirty_roots[absorbed] = self.seq
+
+    def note_commit(self, key) -> None:
+        self.seq += 1
+        self.committed_pairs[key] = self.seq
+
+    def valid(self, roots, pairs, fork_seq: int) -> bool:
+        dirty = self.dirty_roots
+        committed = self.committed_pairs
+        for root in roots:
+            if dirty.get(root, 0) > fork_seq:
+                return False
+        for pair in pairs:
+            if committed.get(pair, 0) > fork_seq:
+                return False
+            if dirty.get(pair[0], 0) > fork_seq or dirty.get(pair[1], 0) > fork_seq:
+                return False
+        return True
+
+    def close(self) -> None:
+        self._uf.remove_union_listener(self._on_union)
+
+
+class SpeculativeExecutor:
+    """Chunk scheduler + validated result cache for the iterate loop.
+
+    The engine calls :meth:`maybe_refill` once per step (peek the
+    queue head, fork chunks until the supervisor's concurrency is
+    used), :meth:`claim` right after every pop (harvest, validate,
+    count), :meth:`note_commit` after every state-changing commit, and
+    :meth:`close` in a finally.
+
+    The in-flight window is the lever between parallelism and drift:
+    deep windows keep children busy but speculate further past
+    uncommitted merges (each chunk's results are claimed up to a full
+    window after its fork, and every commit in between is a chance to
+    invalidate them). ``iterate_batch`` bounds the window; chunk size
+    is the window split across the supervisor's current concurrency.
+    """
+
+    def __init__(self, engine, supervisor, *, batch: int, telemetry=None) -> None:
+        self.engine = engine
+        self.supervisor = supervisor
+        self.batch = max(1, int(batch))
+        self.pending: dict = {}  # key -> _ChunkHandle (shared per chunk)
+        self.results: dict = {}  # key -> (fork_seq, payload)
+        self.inflight: list = []  # unharvested handles, submission order
+        self.speculated = 0
+        self.hits = 0
+        self.invalidated = 0
+        self.stale = 0
+        self._tracer = None
+        self._hist = None
+        if telemetry is not None and telemetry.active:
+            self._tracer = telemetry.tracer
+            if telemetry.metrics is not None:
+                self._hist = telemetry.metrics.histogram(
+                    "repro_speculation_batch",
+                    "keys speculated per forked chunk",
+                )
+        self.ledger = SpeculationLedger(engine.uf)
+        self._closed = False
+        self._purged_at = -1  # queue.discards value at the last sweep
+        self._cooldown = 0  # pops to skip after a fruitless refill
+        # Copy-on-write hygiene: every object the cyclic GC touches gets
+        # its header rewritten, which re-dirties (and therefore re-copies)
+        # the whole heap page by page after *every* fork. Freezing the
+        # built graph into the permanent generation keeps those pages
+        # clean across forks; collection resumes at close(). This is an
+        # execution-shaping change only — object lifetimes during the
+        # iterate loop are dominated by direct refcounting.
+        gc.freeze()
+        self._frozen = True
+
+    # -- scheduling -----------------------------------------------------
+    def maybe_refill(self, queue) -> None:
+        """Fork fresh chunks from the queue's head until the window or
+        the supervisor's concurrency is full.
+
+        Called once per pop, so the steady state — concurrency full,
+        window full — must cost O(1), not O(window): the expensive
+        steps (peeking, prefiltering, purging discarded keys) only run
+        when a chunk slot or window slot might actually be free.
+        """
+        supervisor = self.supervisor
+        if not supervisor.speculation_enabled:
+            return
+        workers = max(1, supervisor.current_workers)
+        if len(self.inflight) >= workers:
+            # Concurrency is full; the only upkeep needed is reaping
+            # chunks whose every key fusion has discarded (claim would
+            # never drain them), which the discard-gated sweep covers.
+            self._purge_dead(queue)
+            if len(self.inflight) >= workers:
+                return
+        if (len(self.pending) + len(self.results)) * 2 > self.batch:
+            self._purge_dead(queue)
+            if (len(self.pending) + len(self.results)) * 2 > self.batch:
+                return
+        # Peeking and prefiltering cost O(batch); a queue whose head
+        # region holds no candidates (every key's node already resolved)
+        # would otherwise pay that on every single pop. After a
+        # fruitless attempt, sit out the next few pops — the head has
+        # to advance before the picture can change.
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        in_flight = len(self.inflight)
+        peeked = queue.peek_batch(self.batch, max_scan=self.batch * 4)
+        # Parent-side prefilter, mirroring the loop's own liveness and
+        # connectivity prechecks: the queue may hold thousands of keys
+        # whose nodes were already resolved (the initial seeding is the
+        # whole graph), and shipping those to a child just to learn
+        # "stale" would crowd every real candidate out of the window.
+        graph = self.engine.graph
+        uf = self.engine.uf
+        fresh = []
+        for key in peeked:
+            if key in self.pending or key in self.results:
+                continue
+            node = graph.get_key(key)
+            if node is None or node.status is not NodeStatus.ACTIVE:
+                continue
+            if uf.connected(node.left, node.right):
+                continue
+            fresh.append(key)
+        if not fresh:
+            self._cooldown = max(1, self.batch // (2 * workers))
+            return
+        chunk = max(1, self.batch // workers)
+        for start in range(0, len(fresh), chunk):
+            if in_flight >= workers:
+                break
+            keys = fresh[start : start + chunk]
+            # A fork costs milliseconds regardless of chunk size; a
+            # scrap-sized trailing chunk isn't worth one while other
+            # chunks are already in flight — those keys stay in the
+            # queue and are re-peeked once the candidate pool regrows.
+            if len(keys) * 2 < chunk and in_flight > 0:
+                if start == 0:
+                    self._cooldown = max(1, self.batch // (2 * workers))
+                break
+            fork_seq = self.ledger.seq
+            handle = supervisor.submit(keys)
+            if handle is None:  # fork failed; the ladder has reacted
+                return
+            handle.fork_seq = fork_seq
+            handle.started = self._tracer.now() if self._tracer is not None else 0.0
+            for key in keys:
+                self.pending[key] = handle
+            self.inflight.append(handle)
+            in_flight += 1
+            self.speculated += len(keys)
+            if self._hist is not None:
+                self._hist.observe(len(keys))
+
+    def _purge_dead(self, queue) -> None:
+        """Evict speculation state for keys no longer in the queue.
+
+        Fusion can :meth:`~repro.core.queue.ActiveQueue.discard` a key
+        after it was speculated; such a key is never popped, so
+        :meth:`claim` never consumes it. Left alone, dead entries fill
+        the in-flight window until speculation silently stops, and a
+        fully-dead chunk would leak its child. Chunks whose keys are
+        all dead are harvested so the child is drained and reaped.
+
+        Entries only die through discards, so when the queue's discard
+        counter hasn't moved since the last sweep there is nothing to
+        find and the sweep is skipped — without this the full-window
+        steady state would rescan every held result on every pop.
+        """
+        if queue.discards == self._purged_at:
+            return
+        self._purged_at = queue.discards
+        if self.inflight:
+            is_live = queue.is_live
+            for handle in list(self.inflight):
+                if not any(is_live(key) for key in handle.keys):
+                    self._harvest(handle)
+        if self.results:
+            is_live = queue.is_live
+            dead = [key for key in self.results if not is_live(key)]
+            for key in dead:
+                del self.results[key]
+
+    # -- consumption ----------------------------------------------------
+    def claim(self, key):
+        """The validated speculative result for *key*, or ``None``.
+
+        Must be called for every popped key (even ones whose node went
+        stale) so in-flight entries never leak. Blocks to drain the
+        key's chunk when the child is still computing — by then its
+        sibling chunks are already running, which is the pipelining
+        win.
+        """
+        handle = self.pending.get(key)
+        if handle is not None:
+            self._harvest(handle)
+        entry = self.results.pop(key, None)
+        if entry is None:
+            return None
+        fork_seq, payload = entry
+        if payload["outcome"] == "stale":
+            self.stale += 1
+            return None
+        if not self.ledger.valid(payload["roots"], payload["pairs"], fork_seq):
+            self.invalidated += 1
+            return None
+        self.hits += 1
+        return SpecResult(payload["outcome"], payload["score"], payload["capture"])
+
+    def forget(self, key) -> None:
+        """Drop speculation state for a popped key the loop will skip.
+
+        Never blocks on the child: a pending entry just decrements its
+        chunk's outstanding count, and only a chunk with *no* claimable
+        key left is drained (by then it is finished or moot — transitive
+        merges killed its whole key range). A held result is simply
+        discarded.
+        """
+        handle = self.pending.pop(key, None)
+        if handle is not None:
+            handle.remaining -= 1
+            if handle.remaining <= 0:
+                self._harvest(handle)
+        self.results.pop(key, None)
+
+    def _harvest(self, handle) -> None:
+        try:
+            self.inflight.remove(handle)
+        except ValueError:
+            pass
+        # Only keys still pending want their payload; keys already
+        # claimed or forgotten must not re-enter the window as results
+        # nobody will ever pop.
+        wanted = [key for key in handle.keys if key in self.pending]
+        payloads = self.supervisor.harvest(handle)
+        for key in wanted:
+            del self.pending[key]
+        if payloads is not None:
+            fork_seq = handle.fork_seq
+            wanted_set = set(wanted)
+            for payload in payloads:
+                if payload["key"] in wanted_set:
+                    self.results[payload["key"]] = (fork_seq, payload)
+        if self._tracer is not None:
+            now = self._tracer.now()
+            self._tracer.complete(
+                "iterate_batch",
+                handle.started,
+                now - handle.started,
+                keys=len(handle.keys),
+                dropped=payloads is None,
+            )
+
+    def note_commit(self, *keys) -> None:
+        """Record that a processed node's observable state changed.
+
+        Both the popped key and the node's current key are recorded
+        (they differ only after fusion re-keying, which the dirty-root
+        rule already covers — recording both is belt and braces).
+        """
+        for key in keys:
+            self.ledger.note_commit(key)
+
+    # -- teardown -------------------------------------------------------
+    def close(self) -> None:
+        """Kill stragglers, unhook the ledger, fold counters into
+        stats.
+
+        Runs in the engine's ``finally``: injected faults and guard
+        trips can never leak iterate children or leave the union-find
+        listener behind.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.supervisor.shutdown()
+        finally:
+            self.ledger.close()
+            if self._frozen:
+                self._frozen = False
+                gc.unfreeze()
+        stats = self.engine.stats
+        stats.speculated_nodes += self.speculated
+        stats.speculation_hits += self.hits
+        stats.speculation_invalidated += self.invalidated
+        stats.speculation_dropped += self.supervisor.counters.get(
+            "speculation_dropped", 0
+        )
+        stats.iterate_workers = self.supervisor.current_workers

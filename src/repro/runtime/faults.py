@@ -61,6 +61,19 @@ class CrashAtStep:
             raise InjectedFault(f"injected crash at iterate step {step}")
 
 
+#: True only inside a raw-forked iterate worker (set by the child right
+#: after fork). Lets ``before_chunk`` tell such children apart from the
+#: parent, which multiprocessing's parentage check cannot.
+_FORKED_WORKER = False
+
+
+def mark_forked_worker() -> None:
+    """Record that this process is a forked iterate worker; kill/hang
+    chaos families may fire here, never in the parent."""
+    global _FORKED_WORKER
+    _FORKED_WORKER = True
+
+
 @dataclass(frozen=True)
 class ChaosInjector:
     """Deterministic build-time chaos for the supervised scorer.
@@ -87,10 +100,19 @@ class ChaosInjector:
     fault is persistent — every fresh worker fires again, which drives
     the scorer down its full degradation ladder.
 
+    The speculative iterate executor reuses the same seam under the
+    pseudo class name ``__iterate__``: each forked iterate child calls
+    ``before_chunk`` once, with the parent's monotone submission index.
+    Because every child sees exactly one chunk, ``kill_every`` (kill
+    when ``chunk_index % kill_every == 0``) expresses persistent kills
+    there — ``kill_at_chunk`` alone would fire once and let the retry
+    (a fresh index) through.
+
     Frozen and built from plain values, so it pickles into workers.
     """
 
     kill_at_chunk: int | None = None
+    kill_every: int | None = None
     hang_at_chunk: int | None = None
     hang_seconds: float = 30.0
     raise_pairs: tuple = ()
@@ -122,7 +144,10 @@ class ChaosInjector:
         return False
 
     def before_chunk(self, class_name: str, pairs, chunk_index: int) -> None:
-        in_worker = multiprocessing.parent_process() is not None
+        # Iterate children are raw os.fork() processes, invisible to
+        # multiprocessing's parentage check — they announce themselves
+        # via mark_forked_worker() instead.
+        in_worker = _FORKED_WORKER or multiprocessing.parent_process() is not None
         if (
             in_worker
             and self.kill_at_chunk is not None
@@ -130,6 +155,14 @@ class ChaosInjector:
             and self._claim("kill")
         ):
             # Claim the marker *before* dying or it would never stick.
+            os.kill(os.getpid(), signal.SIGKILL)
+        if (
+            in_worker
+            and self.kill_every is not None
+            and chunk_index >= 0
+            and chunk_index % self.kill_every == 0
+        ):
+            # Deliberately marker-free: persistent by construction.
             os.kill(os.getpid(), signal.SIGKILL)
         if (
             in_worker

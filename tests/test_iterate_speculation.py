@@ -1,0 +1,267 @@
+"""Speculative batched parallel iterate: byte-identity and failure
+containment.
+
+The executor's contract (see ``perf/speculate.py``): with
+``iterate_workers=N`` the engine forks chunks of upcoming queue keys,
+scores them against copy-on-write snapshots, and commits validated
+results in exact pop order — so the partition, every decision in the
+provenance log, and every deterministic counter are byte-identical to
+the serial loop. Chaos (killed children, injected comparator faults)
+may only cost speculation coverage, never change a result.
+"""
+
+import dataclasses
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EngineConfig, Reconciler, ReferenceStore
+from repro.core.queue import ActiveQueue
+from repro.datasets import generate_cora_dataset, generate_pim_dataset
+from repro.domains import CoraDomainModel, PimDomainModel
+from repro.obs import Telemetry
+from repro.runtime import ChaosInjector
+
+from .test_engine_properties import micro_worlds
+
+#: EngineStats fields that legitimately differ between a serial and a
+#: speculative run: execution-shaping counters and timings, never
+#: decisions.
+EXECUTION_FIELDS = frozenset(
+    {
+        "build_seconds",
+        "iterate_seconds",
+        "iterate_workers",
+        "speculated_nodes",
+        "speculation_hits",
+        "speculation_invalidated",
+        "speculation_dropped",
+        "queue_compactions",
+        "values_cache_hits",
+        "values_cache_misses",
+        "contacts_cache_hits",
+        "contacts_cache_misses",
+        "feature_cache_hits",
+        "feature_cache_misses",
+        "pair_memo_hits",
+        "pair_memo_misses",
+        "prefilter_skips",
+        "task_retries",
+        "task_timeouts",
+        "pool_rebuilds",
+        "pairs_poisoned",
+        "degradations",
+        "convergence_samples",
+    }
+)
+
+
+def _deterministic_stats(stats) -> dict:
+    return {
+        f.name: getattr(stats, f.name)
+        for f in dataclasses.fields(stats)
+        if f.name not in EXECUTION_FIELDS
+    }
+
+
+def _decisions(telemetry) -> list:
+    # DecisionRecord is a frozen dataclass: whole-record equality
+    # compares every field, channel scores and triggers included.
+    return list(telemetry.provenance.records)
+
+
+def _run(refs, domain, config=None, chaos=None, provenance=False):
+    telemetry = Telemetry.enabled(provenance=True) if provenance else None
+    engine = Reconciler(
+        ReferenceStore(domain.schema, refs), domain, config, telemetry=telemetry
+    )
+    if chaos is not None:
+        engine.chaos = chaos
+    result = engine.run()
+    return engine, result, telemetry
+
+
+def _pim_refs(name):
+    dataset = generate_pim_dataset(name, scale=0.12, seed=11)
+    return list(dataset.store), PimDomainModel()
+
+
+def _cora_refs():
+    from repro.datasets.cora import CoraConfig
+
+    dataset = generate_cora_dataset(
+        CoraConfig(n_papers=10, n_citations=80, n_authors=25, n_venues=5, seed=5)
+    )
+    return list(dataset.store), CoraDomainModel()
+
+
+class TestByteIdentity:
+    """Partition, provenance log, and deterministic counters equal the
+    serial run's on the paper's benchmark families."""
+
+    @pytest.mark.parametrize("name", ["A", "B", "C", "D"])
+    @pytest.mark.parametrize("iterate_workers,batch", [(2, 16), (4, 64)])
+    def test_pim_datasets(self, name, iterate_workers, batch):
+        refs, domain = _pim_refs(name)
+        serial_engine, serial, serial_tel = _run(refs, domain, provenance=True)
+        config = replace(
+            EngineConfig(), iterate_workers=iterate_workers, iterate_batch=batch
+        )
+        spec_engine, spec, spec_tel = _run(refs, domain, config, provenance=True)
+        assert spec.partitions == serial.partitions
+        assert _decisions(spec_tel) == _decisions(serial_tel)
+        assert _deterministic_stats(spec_engine.stats) == _deterministic_stats(
+            serial_engine.stats
+        )
+
+    def test_cora_like(self):
+        refs, domain = _cora_refs()
+        serial_engine, serial, serial_tel = _run(refs, domain, provenance=True)
+        config = replace(EngineConfig(), iterate_workers=2, iterate_batch=32)
+        spec_engine, spec, spec_tel = _run(refs, domain, config, provenance=True)
+        assert spec.partitions == serial.partitions
+        assert _decisions(spec_tel) == _decisions(serial_tel)
+        assert _deterministic_stats(spec_engine.stats) == _deterministic_stats(
+            serial_engine.stats
+        )
+
+    def test_speculation_actually_ran(self):
+        refs, domain = _pim_refs("B")
+        config = replace(EngineConfig(), iterate_workers=2, iterate_batch=16)
+        engine, _, _ = _run(refs, domain, config)
+        assert engine.stats.iterate_workers == 2
+        assert engine.stats.speculated_nodes > 0
+
+
+class TestCommitSequenceProperty:
+    """Under random worlds and a window small enough to force constant
+    refills, the speculative run's decision sequence must equal the
+    serial oracle's, decision for decision, in order."""
+
+    @given(micro_worlds(), st.sampled_from([2, 3, 4, 8]))
+    @settings(max_examples=8, deadline=None)
+    def test_matches_serial_oracle(self, world, batch):
+        references, _ = world
+        domain = PimDomainModel()
+        _, serial, serial_tel = _run(references, domain, provenance=True)
+        config = replace(EngineConfig(), iterate_workers=2, iterate_batch=batch)
+        _, spec, spec_tel = _run(references, domain, config, provenance=True)
+        assert spec.partitions == serial.partitions
+        assert _decisions(spec_tel) == _decisions(serial_tel)
+
+
+class TestChaosContainment:
+    """Failed speculation must cost coverage only: dropped chunks,
+    ladder descent to the serial loop — never a changed partition,
+    never a leaked child."""
+
+    def test_persistent_kills_descend_to_serial_identically(self):
+        refs, domain = _pim_refs("B")
+        _, serial, _ = _run(refs, domain)
+        config = replace(
+            EngineConfig(),
+            iterate_workers=2,
+            iterate_batch=16,
+            max_task_retries=1,
+            retry_backoff=0.0,
+        )
+        chaos = ChaosInjector(kill_every=1)
+        engine, result, _ = _run(refs, domain, config, chaos=chaos)
+        assert result.completed
+        assert result.partitions == serial.partitions
+        assert engine.stats.speculation_dropped > 0
+        assert engine.stats.speculation_hits == 0
+        kinds = [event.kind for event in engine.stats.degradations]
+        assert "parallel_fallback" in kinds
+
+    def test_injected_faults_drop_chunks_identically(self):
+        refs, domain = _pim_refs("B")
+        _, serial, _ = _run(refs, domain)
+        config = replace(
+            EngineConfig(),
+            iterate_workers=2,
+            iterate_batch=16,
+            max_task_retries=1,
+            retry_backoff=0.0,
+        )
+        # A deterministic comparator bug in ~1/4 of all chunks: the
+        # affected chunks are dropped and recomputed in-line.
+        chaos = ChaosInjector(raise_pair_crc_mod=4, raise_pair_crc_rem=0)
+        engine, result, _ = _run(refs, domain, config, chaos=chaos)
+        assert result.completed
+        assert result.partitions == serial.partitions
+        assert engine.stats.speculation_dropped > 0
+
+
+class TestSpeculationLedger:
+    """Unit semantics of the seq-numbered validation ledger."""
+
+    def _ledger(self):
+        from repro.core.partition import UnionFind
+        from repro.perf.speculate import SpeculationLedger
+
+        uf = UnionFind(("a", "b", "c", "d"))
+        return uf, SpeculationLedger(uf)
+
+    def test_clean_snapshot_is_valid(self):
+        _, ledger = self._ledger()
+        assert ledger.valid(["a", "b"], [("a", "b")], fork_seq=ledger.seq)
+
+    def test_union_invalidates_touched_roots_only(self):
+        uf, ledger = self._ledger()
+        fork_seq = ledger.seq
+        uf.union("a", "b")
+        assert not ledger.valid(["a"], [], fork_seq)
+        assert not ledger.valid(["b"], [], fork_seq)
+        assert ledger.valid(["c"], [], fork_seq)
+        # A chunk forked after the union sees it: still valid.
+        assert ledger.valid(["a"], [], ledger.seq)
+
+    def test_commit_invalidates_pair_readers(self):
+        _, ledger = self._ledger()
+        fork_seq = ledger.seq
+        ledger.note_commit(("c", "d"))
+        assert not ledger.valid([], [("c", "d")], fork_seq)
+        assert ledger.valid([], [("a", "b")], fork_seq)
+
+    def test_close_unhooks_the_union_listener(self):
+        uf, ledger = self._ledger()
+        ledger.close()
+        fork_seq = ledger.seq
+        uf.union("a", "b")
+        # No longer listening: the union goes unrecorded.
+        assert ledger.valid(["a"], [], fork_seq)
+
+
+class TestQueueCompaction:
+    """The lazy-discard leak fix: heavy discarding compacts the deque
+    instead of accumulating stale slots forever."""
+
+    def test_discard_heavy_queue_compacts(self):
+        queue = ActiveQueue((f"k{i}", f"m{i}") for i in range(100))
+        for i in range(80):
+            queue.discard((f"k{i}", f"m{i}"))
+        assert queue.compactions >= 1
+        assert len(queue._deque) <= 2 * len(queue._members)
+        # Pop order of the survivors is untouched.
+        popped = [queue.pop() for _ in range(len(queue))]
+        assert popped == [(f"k{i}", f"m{i}") for i in range(80, 100)]
+
+    def test_tiny_queues_never_compact(self):
+        queue = ActiveQueue((f"k{i}", f"m{i}") for i in range(10))
+        for i in range(10):
+            queue.discard((f"k{i}", f"m{i}"))
+        assert queue.compactions == 0
+
+    def test_peek_batch_is_non_destructive_and_bounded(self):
+        queue = ActiveQueue((f"k{i}", f"m{i}") for i in range(50))
+        peeked = queue.peek_batch(8)
+        assert peeked == [(f"k{i}", f"m{i}") for i in range(8)]
+        assert len(queue) == 50
+        # max_scan bounds the stale sweep, possibly short-reading.
+        for i in range(40):
+            queue.discard((f"k{i}", f"m{i}"))
+        limited = queue.peek_batch(8, max_scan=5)
+        assert len(limited) <= 5
