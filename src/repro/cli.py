@@ -18,10 +18,16 @@ Commands:
 * ``report`` — given a run directory (``--run-dir`` output), write a
   single self-contained HTML run report; given a ``.md`` path, run the
   full experiment suite and write the markdown report (legacy form).
+* ``watch`` — monitor a run directory from a second terminal: tail its
+  ``events.jsonl`` like ``tail -f``, or print one snapshot and exit
+  with ``--once``. Works on concurrent *and* finished runs.
 
 ``reconcile`` / ``evaluate`` / ``explain`` accept ``--run-dir DIR`` to
 collect a run's artifacts in one directory and emit a versioned
 ``run.json`` manifest — the unit ``diff`` and ``report`` operate on.
+They also accept ``--live`` (an in-place stderr HUD) and ``--profile``
+(a sampling wall-clock profiler exporting folded stacks + speedscope
+JSON); neither changes results.
 """
 
 from __future__ import annotations
@@ -109,9 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
             help="collect this run's artifacts in DIR and write a "
             "versioned run.json manifest (config fingerprint, partition "
             "digest, per-class quality, convergence samples); records "
-            "provenance to DIR/provenance.jsonl unless --provenance "
-            "points elsewhere. The unit `repro diff` / `repro report` "
-            "operate on",
+            "provenance to DIR/provenance.jsonl and the event stream to "
+            "DIR/events.jsonl (what `repro watch` tails) unless "
+            "--provenance / --log-json point elsewhere. The unit "
+            "`repro diff` / `repro report` operate on",
         )
         obs.add_argument(
             "--log-json", default=None, metavar="PATH",
@@ -139,6 +146,19 @@ def build_parser() -> argparse.ArgumentParser:
             "--provenance", default=None, metavar="PATH",
             help="record every merge/non-merge decision (channel scores, "
             "thresholds, triggering propagation) to a JSONL audit log",
+        )
+        obs.add_argument(
+            "--profile", action="store_true",
+            help="sample the engine's wall-clock stack (~100 Hz, stdlib "
+            "sampler) and write profile.folded + profile.speedscope.json "
+            "into the run directory (or the working directory without "
+            "--run-dir); strictly observational, results unchanged",
+        )
+        obs.add_argument(
+            "--live", action="store_true",
+            help="redraw a one-line status HUD on stderr while the run "
+            "executes (phase, queue depth, merges, cache hit rate, ETA); "
+            "read-only, results unchanged",
         )
 
     for runner in (reconcile, evaluate):
@@ -260,6 +280,30 @@ def build_parser() -> argparse.ArgumentParser:
         "directory targets only",
     )
     report.add_argument("--scale", type=float, default=1.0)
+
+    watch = commands.add_parser(
+        "watch", help="monitor a run directory's event stream"
+    )
+    watch.add_argument(
+        "run_dir",
+        help="a run directory (its events artifact is resolved through "
+        "run.json when present, DIR/events.jsonl otherwise) or an "
+        "events.jsonl path",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="print one multi-line snapshot of the run's current state "
+        "and exit instead of following the file",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval while following (default 0.5)",
+    )
+    watch.add_argument(
+        "--max-idle", type=float, default=None, metavar="SECONDS",
+        help="stop following after the log has been silent this long "
+        "(default: follow until run_end arrives)",
+    )
     return parser
 
 
@@ -315,18 +359,27 @@ def _export_telemetry(telemetry: Telemetry | None, options) -> None:
 
 def _apply_run_dir(options) -> Path | None:
     """Materialize ``--run-dir``: create it and default the provenance
-    log into it (truncating a stale one on a fresh, non-resume run so
-    the audit trail matches this run exactly). Idempotent."""
+    log and event stream into it (truncating stale ones on a fresh,
+    non-resume run so both artifacts match this run exactly; a resumed
+    run append-continues them). Idempotent."""
     run_dir = getattr(options, "run_dir", None) if options is not None else None
     if not run_dir:
         return None
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
+    resuming = bool(getattr(options, "resume", None))
     if getattr(options, "provenance", None) is None:
         default = run_dir / "provenance.jsonl"
-        if not getattr(options, "resume", None):
+        if not resuming:
             default.unlink(missing_ok=True)
         options.provenance = str(default)
+    if getattr(options, "log_json", None) is None:
+        # The event stream is what `repro watch` tails, so every
+        # --run-dir run records one by default.
+        default = run_dir / "events.jsonl"
+        if not resuming:
+            default.unlink(missing_ok=True)
+        options.log_json = str(default)
     return run_dir
 
 
@@ -351,6 +404,9 @@ def _run_artifacts(options, run_dir: Path) -> dict:
             artifacts[kind] = _rel(value)
     for path in getattr(options, "metrics", None) or []:
         artifacts.setdefault("metrics", _rel(path))
+    if getattr(options, "profile", False):
+        artifacts["profile"] = "profile.folded"
+        artifacts["speedscope"] = "profile.speedscope.json"
     return artifacts
 
 
@@ -433,7 +489,40 @@ def _run(directory: str, algorithm: str, options=None, telemetry=None):
         # (checkpointed) recomputation counter, so attaching after
         # resume reproduces an uninterrupted run's samples.
         reconciler.attach_convergence(dataset.gold.entity_of, every=50)
-    result = reconciler.run(guard=guard, checkpointer=checkpointer)
+    profiler = None
+    if getattr(options, "profile", False):
+        from .obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
+    hud = None
+    if getattr(options, "live", False):
+        from .obs.live import LiveHud
+
+        hud = LiveHud()
+        hud.phase("build")
+    try:
+        result = reconciler.run(
+            guard=guard,
+            checkpointer=checkpointer,
+            step_hook=hud.step_hook if hud is not None else None,
+        )
+    finally:
+        if hud is not None:
+            hud.phase("done")
+            hud.close()
+        if profiler is not None:
+            profiler.stop()
+    if profiler is not None:
+        base = run_dir if run_dir is not None else Path(".")
+        folded_path = profiler.write_folded(base / "profile.folded")
+        profiler.write_speedscope(
+            base / "profile.speedscope.json", name=f"repro {dataset.name}"
+        )
+        print(
+            f"wrote profile ({profiler.sample_count} samples) to "
+            f"{folded_path} and {folded_path.with_name('profile.speedscope.json')}",
+            file=sys.stderr,
+        )
     degraded = render_degradations(result)
     if degraded:
         print(degraded, file=sys.stderr)
@@ -630,6 +719,43 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _watch_events_path(target: Path) -> Path:
+    """Resolve what ``repro watch`` should tail for *target*.
+
+    A run directory resolves through its manifest's ``events`` artifact
+    when a manifest exists (the run may have pointed --log-json
+    elsewhere), falling back to ``DIR/events.jsonl`` — which also
+    covers watching a run that has not written its manifest yet. A
+    file path is tailed as-is."""
+    if not target.is_dir():
+        return target
+    manifest_path = target / "run.json"
+    if manifest_path.exists():
+        manifest = load_manifest(manifest_path)
+        resolved = resolve_artifact(manifest, target, "events")
+        if resolved is not None:
+            return resolved
+    return target / "events.jsonl"
+
+
+def _cmd_watch(args) -> int:
+    from .obs.live import follow_events, read_events, render_watch, watch_snapshot
+
+    events_path = _watch_events_path(Path(args.run_dir))
+    if args.once:
+        events = read_events(events_path)
+        if not events:
+            print(f"no events found at {events_path}", file=sys.stderr)
+            return 2
+        print(render_watch(watch_snapshot(events)))
+        return 0
+    snap = follow_events(
+        events_path, interval=args.interval, max_idle=args.max_idle
+    )
+    print(render_watch(snap))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -640,6 +766,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": _cmd_explain,
         "diff": _cmd_diff,
         "report": _cmd_report,
+        "watch": _cmd_watch,
     }
     return handlers[args.command](args)
 

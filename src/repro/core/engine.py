@@ -174,6 +174,17 @@ class Reconciler:
         self._read_recorder = None
         # Convergence sampling (run manifests): (gold entity_of, every).
         self._convergence: tuple[dict[str, str], int] | None = None
+        # Cross-process telemetry relay, created lazily the first time
+        # a parallel scorer/speculator is built with live sinks; stays
+        # None (zero cost) when telemetry is off or provenance-only.
+        self._relay = None
+
+    def _get_relay(self):
+        if self._relay is None and self.telemetry.active:
+            from ..obs.relay import TelemetryRelay
+
+            self._relay = TelemetryRelay.for_telemetry(self.telemetry)
+        return self._relay
 
     def attach_convergence(
         self, gold_entity_of: Mapping[str, str], *, every: int = 250
@@ -452,6 +463,7 @@ class Reconciler:
                 on_degrade=self._degrade,
                 poison_path=self.config.poison_log,
                 chaos=self.chaos,
+                relay=self._get_relay(),
             )
         except Exception as exc:
             self._degrade(
@@ -782,7 +794,7 @@ class Reconciler:
         # with telemetry off every extra is None and the loop body is
         # the exact pre-observability code path.
         instrumented = tel.active
-        recompute_hist = queue_hist = None
+        recompute_hist = queue_hist = chunk_queue_hist = None
         tracer = None
         chunk_start = 0.0
         chunk_step = chunk_merges = 0
@@ -797,6 +809,11 @@ class Reconciler:
                 queue_hist = tel.metrics.histogram(
                     "repro_queue_depth",
                     "active-queue depth sampled at each pop",
+                    buckets=DEPTH_BUCKETS,
+                )
+                chunk_queue_hist = tel.metrics.histogram(
+                    "repro_iterate_queue_depth",
+                    "active-queue depth sampled once per iterate chunk",
                     buckets=DEPTH_BUCKETS,
                 )
             tracer = tel.tracer
@@ -821,6 +838,7 @@ class Reconciler:
                 instrumented=instrumented,
                 recompute_hist=recompute_hist,
                 queue_hist=queue_hist,
+                chunk_queue_hist=chunk_queue_hist,
                 tracer=tracer,
                 chunk_start=chunk_start,
                 chunk_step=chunk_step,
@@ -884,6 +902,7 @@ class Reconciler:
         instrumented,
         recompute_hist,
         queue_hist,
+        chunk_queue_hist,
         tracer,
         chunk_start,
         chunk_step,
@@ -960,6 +979,8 @@ class Reconciler:
                 if recompute_hist is not None:
                     recompute_hist.observe(time.perf_counter() - step_started)
                 if step % _ITERATE_CHUNK == _ITERATE_CHUNK - 1:
+                    if chunk_queue_hist is not None:
+                        chunk_queue_hist.observe(len(self.queue))
                     tel.emit(
                         "debug",
                         "iterate_progress",
@@ -1015,6 +1036,7 @@ class Reconciler:
                 telemetry=self.telemetry,
                 on_degrade=self._degrade,
                 chaos=self.chaos,
+                relay=self._get_relay(),
             )
         except Exception as exc:
             self._degrade(

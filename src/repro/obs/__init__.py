@@ -24,6 +24,16 @@ On top of the sinks sits the **run-analysis layer**:
 * :mod:`~repro.obs.report_html` — ``repro report``: a single
   self-contained HTML file with inline-SVG charts.
 
+And the **cross-process / live layer**:
+
+* :mod:`~repro.obs.relay` — worker-side telemetry capture shipped
+  back piggybacked on chunk results and merged into the parent's
+  sinks with real pid/tid trace lanes,
+* :mod:`~repro.obs.profile` — a stdlib sampling wall-clock profiler
+  (``--profile``; folded stacks + speedscope JSON),
+* :mod:`~repro.obs.live` — the ``--live`` stderr HUD and the
+  ``repro watch`` event-log tailer.
+
 Everything is disabled by default: the engine holds the shared
 :data:`NULL_TELEMETRY` null object and its instrumented paths cost
 one attribute read when no sink is attached. Telemetry is strictly
@@ -34,6 +44,14 @@ enters checkpoints or their fingerprints.
 
 from .diffing import DiffVerdict, diff_runs
 from .events import LEVELS, EventLog
+from .live import (
+    LiveHud,
+    follow_events,
+    read_events,
+    render_hud,
+    render_watch,
+    watch_snapshot,
+)
 from .manifest import (
     MANIFEST_FILENAME,
     MANIFEST_VERSION,
@@ -52,7 +70,9 @@ from .metrics import (
     escape_label_value,
     format_labels,
 )
+from .profile import SamplingProfiler, parse_folded, top_frames_from_folded
 from .provenance import DecisionRecord, ProvenanceLog
+from .relay import TelemetryRelay, WorkerTelemetry
 from .render import (
     hit_rate,
     render_degradations,
@@ -65,6 +85,7 @@ from .schemas import (
     SchemaError,
     parse_labels,
     parse_prometheus,
+    trace_process_names,
     unescape_label_value,
     validate_chrome_trace,
     validate_event,
@@ -73,6 +94,7 @@ from .schemas import (
     validate_manifest,
     validate_metrics_snapshot,
     validate_provenance_jsonl,
+    validate_speedscope,
 )
 from .telemetry import NULL_TELEMETRY, Telemetry
 from .tracing import Tracer
@@ -108,6 +130,7 @@ __all__ = [
     "SchemaError",
     "parse_labels",
     "parse_prometheus",
+    "trace_process_names",
     "unescape_label_value",
     "validate_chrome_trace",
     "validate_event",
@@ -116,6 +139,18 @@ __all__ = [
     "validate_manifest",
     "validate_metrics_snapshot",
     "validate_provenance_jsonl",
+    "validate_speedscope",
+    "LiveHud",
+    "follow_events",
+    "read_events",
+    "render_hud",
+    "render_watch",
+    "watch_snapshot",
+    "SamplingProfiler",
+    "parse_folded",
+    "top_frames_from_folded",
+    "TelemetryRelay",
+    "WorkerTelemetry",
     "NULL_TELEMETRY",
     "Telemetry",
     "Tracer",

@@ -123,6 +123,23 @@ def quality_by_class(
     return quality
 
 
+def _histogram_summaries(metrics) -> dict:
+    """count/sum/mean per histogram in the registry — the manifest's
+    compressed view of latency and depth distributions (the full
+    buckets live in the ``--metrics`` export)."""
+    summaries: dict[str, dict] = {}
+    for name, metric in sorted(metrics.snapshot().items()):
+        if metric.get("type") != "histogram":
+            continue
+        count = metric["count"]
+        summaries[name] = {
+            "count": count,
+            "sum": round(metric["sum"], 6),
+            "mean": round(metric["sum"] / count, 6) if count else None,
+        }
+    return summaries
+
+
 def _cache_rates(stats) -> dict:
     rates: dict[str, float | None] = {}
     for cache_name, hits_attr, misses_attr in _CACHE_FIELDS:
@@ -156,6 +173,8 @@ def build_manifest(
     stats = reconciler.stats
     tracer = getattr(reconciler.telemetry, "tracer", None)
     phase_seconds = tracer.phase_timings() if tracer is not None else {}
+    metrics = getattr(reconciler.telemetry, "metrics", None)
+    relay = getattr(reconciler, "_relay", None)
     return {
         "manifest_version": MANIFEST_VERSION,
         "kind": "repro_run_manifest",
@@ -201,6 +220,12 @@ def build_manifest(
                 "dropped": getattr(stats, "speculation_dropped", 0),
             },
             "queue_compactions": getattr(stats, "queue_compactions", 0),
+            # Cross-process telemetry: what the relay harvested from
+            # worker/child lanes (None when no relay was attached) and
+            # the registry's histogram digests. Execution-only by
+            # construction — worker timings vary run to run.
+            "worker_telemetry": relay.summary() if relay is not None else None,
+            "histograms": _histogram_summaries(metrics) if metrics is not None else {},
             "generated_at": round(time.time(), 3),
         },
         "artifacts": dict(artifacts or {}),

@@ -1,0 +1,265 @@
+"""Cross-process telemetry relay: worker-side capture, parent-side merge.
+
+The expensive work happens outside the parent process — chunked pair
+scoring in pool workers (:mod:`repro.perf.parallel`) and speculative
+iterate in raw-forked children (:mod:`repro.perf.speculate`) — but the
+telemetry sinks (tracer, metrics registry, event log) live in the
+parent and are not shareable across ``fork``. The relay bridges that
+gap without any extra IPC channel:
+
+* A :class:`WorkerTelemetry` recorder is installed in each worker
+  (``_init_worker`` for pool workers, created per-chunk in forked
+  iterate children). It buffers spans, counters, histogram
+  observations and events **locally** — plain lists and dicts, no
+  locks, no sockets.
+* :meth:`WorkerTelemetry.drain` turns the buffers into one picklable
+  payload dict (or ``None`` when nothing was recorded) and clears
+  them; the payload piggybacks on the chunk result — the pool's
+  return value or the fork child's result pipe — so shipping
+  telemetry costs zero additional round-trips.
+* The parent's :class:`TelemetryRelay` absorbs payloads into the real
+  sinks: spans become foreign-lane trace events with the worker's
+  true ``pid``/``tid`` plus ``process_name`` metadata, counters and
+  observations fold into the metrics registry, and events append to
+  the JSONL log stamped with the worker's pid.
+
+**Clock alignment.** Workers record *absolute* ``time.perf_counter``
+readings. On Linux that clock is ``CLOCK_MONOTONIC``, which is
+system-wide, so the parent aligns a worker span by subtracting the
+tracer's epoch (clamping at zero). The alignment is exact for forked
+children and pool workers on the same host; there is no cross-host
+story, and none is needed.
+
+**Ordering.** Payloads are absorbed in chunk-completion order, which
+is not span start order; consumers of the trace must sort by ``ts``
+(Perfetto does). Within one payload the worker's recording order is
+preserved.
+
+**Identity contract.** The relay is strictly observational: it never
+touches engine state, its payloads ride alongside (never inside)
+chunk results, and a worker with no recorder attached returns
+``None`` payloads — so partitions, provenance and deterministic
+counters are byte-identical with the relay on or off.
+"""
+
+from __future__ import annotations
+
+__all__ = ["WorkerTelemetry", "TelemetryRelay", "WORKER_METRIC_HELP"]
+
+#: help texts for the metrics the relay folds into the registry.
+WORKER_METRIC_HELP = {
+    "repro_worker_chunks_total": "scoring chunks completed by pool workers",
+    "repro_worker_pairs_scored_total": "candidate pairs scored in pool workers",
+    "repro_worker_pair_memo_hits_total": "worker-side pair-memo hits",
+    "repro_worker_pair_memo_misses_total": "worker-side pair-memo misses",
+    "repro_worker_prefilter_skips_total": "worker-side upper-bound prefilter skips",
+    "repro_iterate_child_chunks_total": "speculative iterate chunks completed by forked children",
+    "repro_iterate_child_keys_total": "keys speculated in forked iterate children",
+    "repro_lane_deaths_total": "worker/child processes that died or hung under supervision",
+}
+
+#: histogram metrics shipped as observations (latency buckets apply).
+_OBSERVATION_HELP = {
+    "repro_worker_chunk_seconds": "wall-clock seconds per scoring chunk, measured in the worker",
+    "repro_iterate_child_chunk_seconds": "wall-clock seconds per speculative chunk, measured in the child",
+}
+
+
+class _WorkerStats:
+    """Mutable counter sink matching :func:`pair_evidence`'s contract."""
+
+    __slots__ = ("pair_memo_hits", "pair_memo_misses", "prefilter_skips")
+
+    def __init__(self):
+        self.pair_memo_hits = 0
+        self.pair_memo_misses = 0
+        self.prefilter_skips = 0
+
+
+class WorkerTelemetry:
+    """In-worker recorder: buffers locally, ships via :meth:`drain`.
+
+    Created once per pool worker (buffers survive across chunks and
+    are drained per chunk) or once per forked iterate child. All
+    timestamps are absolute ``perf_counter`` readings; the parent
+    relay aligns them to the tracer epoch.
+    """
+
+    __slots__ = ("pid", "tid", "process_name", "spans", "counters", "observations", "events")
+
+    def __init__(self, process_name: str) -> None:
+        import os
+        import threading
+
+        self.pid = os.getpid()
+        self.tid = threading.get_native_id()
+        self.process_name = process_name
+        self.spans: list[tuple] = []
+        self.counters: dict[str, float] = {}
+        self.observations: dict[str, list[float]] = {}
+        self.events: list[tuple] = []
+
+    def pair_stats(self) -> _WorkerStats:
+        """A fresh memo-counter sink for ``pair_evidence(stats=...)``."""
+        return _WorkerStats()
+
+    def add_span(
+        self, name: str, start: float, duration: float, category: str = "worker", **args
+    ) -> None:
+        """Record one finished span; *start* is absolute perf_counter."""
+        self.spans.append((name, category, start, duration, args))
+
+    def count(self, name: str, amount: float = 1) -> None:
+        if amount:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        self.observations.setdefault(name, []).append(value)
+
+    def emit(self, level: str, event: str, **fields) -> None:
+        self.events.append((level, event, fields))
+
+    def absorb_pair_stats(self, stats: _WorkerStats) -> None:
+        self.count("repro_worker_pair_memo_hits_total", stats.pair_memo_hits)
+        self.count("repro_worker_pair_memo_misses_total", stats.pair_memo_misses)
+        self.count("repro_worker_prefilter_skips_total", stats.prefilter_skips)
+
+    def drain(self):
+        """The buffered telemetry as one picklable payload, or ``None``.
+
+        Clears the buffers: pool workers persist across chunks, so each
+        chunk ships only its own delta.
+        """
+        if not (self.spans or self.counters or self.observations or self.events):
+            return None
+        payload = {
+            "pid": self.pid,
+            "tid": self.tid,
+            "process_name": self.process_name,
+            "spans": self.spans,
+            "counters": self.counters,
+            "observations": self.observations,
+            "events": self.events,
+        }
+        self.spans = []
+        self.counters = {}
+        self.observations = {}
+        self.events = []
+        return payload
+
+
+class TelemetryRelay:
+    """Parent-side merge of worker payloads into the live sinks."""
+
+    __slots__ = ("_tracer", "_metrics", "_log", "payloads", "lane_names", "counters", "lane_deaths")
+
+    def __init__(self, telemetry) -> None:
+        self._tracer = telemetry.tracer
+        self._metrics = telemetry.metrics
+        self._log = telemetry.log
+        self.payloads = 0
+        self.lane_names: dict[int, str] = {}
+        self.counters: dict[str, float] = {}
+        self.lane_deaths: list[dict] = []
+
+    @classmethod
+    def for_telemetry(cls, telemetry) -> "TelemetryRelay | None":
+        """A relay when any relay-capable sink is attached, else ``None``.
+
+        Provenance-only telemetry (``repro explain``) gets no relay:
+        workers would buffer and ship payloads nobody consumes.
+        """
+        if telemetry is None:
+            return None
+        if telemetry.tracer is None and telemetry.metrics is None and telemetry.log is None:
+            return None
+        return cls(telemetry)
+
+    def absorb(self, payload: dict) -> None:
+        """Merge one :meth:`WorkerTelemetry.drain` payload into the sinks."""
+        if payload is None:
+            return
+        self.payloads += 1
+        pid = payload["pid"]
+        tid = payload["tid"]
+        if pid not in self.lane_names:
+            self.lane_names[pid] = payload["process_name"]
+        for name, amount in payload["counters"].items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.set_process_name(pid, self.lane_names[pid])
+            tracer.set_thread_name(pid, tid, "worker loop")
+            epoch = tracer.epoch
+            for name, category, start, duration, args in payload["spans"]:
+                tracer.complete_foreign(
+                    name,
+                    max(0.0, start - epoch),
+                    duration,
+                    pid=pid,
+                    tid=tid,
+                    category=category,
+                    **args,
+                )
+        metrics = self._metrics
+        if metrics is not None:
+            for name, amount in payload["counters"].items():
+                metrics.counter(name, WORKER_METRIC_HELP.get(name, "")).inc(amount)
+            for name, values in payload["observations"].items():
+                histogram = metrics.histogram(name, _OBSERVATION_HELP.get(name, ""))
+                for value in values:
+                    histogram.observe(value)
+        log = self._log
+        if log is not None:
+            for level, event, fields in payload["events"]:
+                log.emit(level, event, pid=pid, **fields)
+
+    def lane_died(self, pid: int | None, reason: str, *, lane: str = "scoring worker") -> None:
+        """Attribute a supervision intervention to the lane that died.
+
+        Called by the supervisor when it kills/rebuilds a pool or gives
+        up on a forked child: records a ``lane_died`` instant on that
+        pid's trace lane, bumps ``repro_lane_deaths_total``, and logs a
+        warning event — so a retry or pool rebuild in the trace is
+        visibly anchored to the process that caused it.
+        """
+        record = {"pid": pid, "reason": reason, "lane": lane}
+        self.lane_deaths.append(record)
+        self.counters["repro_lane_deaths_total"] = (
+            self.counters.get("repro_lane_deaths_total", 0) + 1
+        )
+        tracer = self._tracer
+        if tracer is not None and pid is not None:
+            if pid not in self.lane_names:
+                self.lane_names[pid] = lane
+                tracer.set_process_name(pid, lane)
+            tracer.instant("lane_died", pid=pid, tid=pid, reason=reason)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter(
+                "repro_lane_deaths_total", WORKER_METRIC_HELP["repro_lane_deaths_total"]
+            ).inc()
+        log = self._log
+        if log is not None:
+            log.emit("warning", "lane_died", pid=pid, reason=reason, lane=lane)
+
+    def summary(self) -> dict:
+        """Manifest-ready digest of what the relay saw.
+
+        Lanes are rolled up by role rather than listed per pid — a long
+        speculative run forks hundreds of short-lived children and the
+        manifest should not grow with them (the trace has the full
+        per-pid story).
+        """
+        by_role: dict[str, int] = {}
+        for name in self.lane_names.values():
+            by_role[name] = by_role.get(name, 0) + 1
+        return {
+            "payloads": self.payloads,
+            "lane_count": len(self.lane_names),
+            "lanes_by_role": dict(sorted(by_role.items())),
+            "counters": {
+                name: round(value, 6) for name, value in sorted(self.counters.items())
+            },
+            "lane_deaths": list(self.lane_deaths),
+        }

@@ -22,8 +22,14 @@ import json
 from pathlib import Path
 
 from .manifest import load_manifest, resolve_artifact
+from .profile import parse_folded, top_frames_from_folded
+from .schemas import trace_process_names
 
 __all__ = ["render_report", "write_report"]
+
+#: most lanes drawn in the utilization strip; iterate-heavy runs fork
+#: a child per chunk and hundreds of two-span rows help nobody.
+_MAX_LANES = 16
 
 #: validated categorical palette (slots 1-3 pass all-pairs in both
 #: modes): blue, orange, aqua; light / dark steps of the same hues.
@@ -285,6 +291,138 @@ def _waterfall(phase_seconds: dict) -> str:
     )
 
 
+def _lane_rows(trace: dict) -> list[dict]:
+    """Per-pid span intervals + busy time from a Chrome trace object."""
+    names = trace_process_names(trace)
+    spans_by_pid: dict = {}
+    for event in trace.get("traceEvents", []):
+        if event.get("ph") != "X":
+            continue
+        spans_by_pid.setdefault(event["pid"], []).append(
+            (float(event["ts"]), float(event["dur"]))
+        )
+    lanes = []
+    for pid, spans in spans_by_pid.items():
+        busy = sum(duration for _, duration in spans)
+        lanes.append(
+            {
+                "pid": pid,
+                "name": names.get(pid, f"pid {pid}"),
+                "spans": sorted(spans),
+                "busy_us": busy,
+            }
+        )
+    # engine lane first (it owns the earliest span), then busiest workers.
+    lanes.sort(key=lambda lane: (-lane["busy_us"], lane["pid"]))
+    return lanes
+
+
+def _lanes_section(trace: dict | None) -> str:
+    if trace is None:
+        return (
+            '<div class="card"><p class="note">No trace recorded for this run '
+            "— worker-lane strip unavailable. Re-run with <code>--trace</code> "
+            "(or <code>--run-dir</code>, which records one by default).</p></div>"
+        )
+    lanes = _lane_rows(trace)
+    if not lanes:
+        return (
+            '<div class="card"><p class="note">The trace holds no timed spans '
+            "— nothing to draw.</p></div>"
+        )
+    t_lo = min(span[0] for lane in lanes for span in lane["spans"])
+    t_hi = max(span[0] + span[1] for lane in lanes for span in lane["spans"])
+    total_us = (t_hi - t_lo) or 1.0
+    shown = lanes[:_MAX_LANES]
+    bar_h, gap, label_w = 16, 6, 190
+    width = 640
+    height = len(shown) * (bar_h + gap) + 18
+    plot_w = width - label_w - 70
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" role="img" '
+        f'style="width:100%;max-width:{width}px;height:auto;display:block">'
+    ]
+    for index, lane in enumerate(shown):
+        y = index * (bar_h + gap) + 6
+        utilization = lane["busy_us"] / total_us
+        label = f"{lane['name']} · {lane['pid']}"
+        parts.append(
+            f'<text x="{label_w - 8}" y="{y + bar_h - 4}" text-anchor="end" '
+            f'font-size="11" fill="var(--text-secondary)">{_esc(label)}</text>'
+        )
+        # faint track for the run's full extent, busy segments on top
+        parts.append(
+            f'<rect x="{label_w}" y="{y}" width="{plot_w}" height="{bar_h}" '
+            f'rx="3" fill="var(--grid)"/>'
+        )
+        color = "--series-1" if index == 0 else "--series-2"
+        for start, duration in lane["spans"]:
+            x = label_w + plot_w * ((start - t_lo) / total_us)
+            seg_w = max(plot_w * (duration / total_us), 1.0)
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y}" width="{seg_w:.1f}" '
+                f'height="{bar_h}" rx="2" fill="var({color})">'
+                f"<title>{_esc(lane['name'])}: {duration / 1e6:.4f}s at "
+                f"+{(start - t_lo) / 1e6:.4f}s</title></rect>"
+            )
+        parts.append(
+            f'<text x="{label_w + plot_w + 6}" y="{y + bar_h - 4}" '
+            f'font-size="11" fill="var(--text-muted)">{utilization:.0%}</text>'
+        )
+    parts.append("</svg>")
+    rows = "".join(
+        f"<tr><td>{_esc(lane['name'])}</td><td class='num'>{lane['pid']}</td>"
+        f"<td class='num'>{len(lane['spans']):,}</td>"
+        f"<td class='num'>{lane['busy_us'] / 1e6:.4f}</td>"
+        f"<td class='num'>{lane['busy_us'] / total_us:.1%}</td></tr>"
+        for lane in lanes
+    )
+    hidden = len(lanes) - len(shown)
+    hidden_note = (
+        f" {hidden} additional lane{'s' if hidden != 1 else ''} are in the "
+        "table but not drawn." if hidden > 0 else ""
+    )
+    return (
+        '<div class="card">'
+        + "".join(parts)
+        + '<p class="note">One row per OS process (pid) in the trace; filled '
+        "segments are recorded spans, the percentage is busy time over the "
+        f"traced extent.{_esc(hidden_note)}</p>"
+        "<details><summary>Data table</summary><table>"
+        "<tr><th>lane</th><th class='num'>pid</th><th class='num'>spans</th>"
+        "<th class='num'>busy s</th><th class='num'>utilization</th></tr>"
+        f"{rows}</table></details></div>"
+    )
+
+
+def _profile_section(folded: dict | None, top_n: int = 12) -> str:
+    if not folded:
+        return ""
+    frames = top_frames_from_folded(folded, top_n)
+    total_samples = sum(folded.values()) or 1
+    rows = "".join(
+        f"<tr><td><code>{_esc(frame['frame'])}</code></td>"
+        f"<td class='num'>{frame['self']:,}</td>"
+        f"<td class='num'>{frame['self'] / total_samples:.1%}</td>"
+        f"<td class='num'>{frame['total']:,}</td>"
+        f"<td class='num'>{frame['total'] / total_samples:.1%}</td></tr>"
+        for frame in frames
+    )
+    return (
+        "<h2>Profiler hot frames</h2>"
+        '<div class="card"><table>'
+        "<tr><th>frame</th><th class='num'>self</th><th class='num'>self %</th>"
+        "<th class='num'>total</th><th class='num'>total %</th></tr>"
+        + rows
+        + f'</table><p class="note">Top {len(frames)} frames from '
+        f"{total_samples:,} wall-clock samples (<code>--profile</code>); "
+        '"self" counts samples with the frame on top of the stack, "total" '
+        "samples with it anywhere on the stack. Load "
+        "<code>profile.speedscope.json</code> in speedscope for the full "
+        "flamegraph.</p></div>"
+    )
+
+
 def _quality_table(quality: dict) -> str:
     if not quality:
         return '<div class="card"><p class="note">No gold standard — quality table unavailable.</p></div>'
@@ -385,8 +523,13 @@ def _tiles(manifest: dict) -> str:
     ) + "</div>"
 
 
-def render_report(manifest: dict, decisions=None) -> str:
-    """The full HTML document for one run manifest."""
+def render_report(manifest: dict, decisions=None, *, trace=None, profile_folded=None) -> str:
+    """The full HTML document for one run manifest.
+
+    *trace* is a parsed Chrome trace object (for the worker-lane strip)
+    and *profile_folded* a parsed folded-stack mapping (for the hot-frame
+    table); both are optional and their sections degrade gracefully.
+    """
     run = manifest["run"]
     status = "completed" if run["completed"] else f"degraded ({run.get('stop_reason')})"
     degradations = manifest.get("degradations", [])
@@ -426,6 +569,9 @@ def render_report(manifest: dict, decisions=None) -> str:
     'build': manifest['execution']['build_seconds'],
     'iterate': manifest['execution']['iterate_seconds'],
 })}
+<h2>Worker lanes</h2>
+{_lanes_section(trace)}
+{_profile_section(profile_folded)}
 <h2>Most-contested merge decisions</h2>
 {_contested_table(decisions)}
 {degradation_html}
@@ -447,7 +593,17 @@ def write_report(run_dir: str | Path, output: str | Path | None = None) -> Path:
     provenance_path = resolve_artifact(manifest, run_dir, "provenance")
     if provenance_path is not None and provenance_path.exists():
         decisions = ProvenanceLog.from_jsonl(provenance_path).records
+    trace = None
+    trace_path = resolve_artifact(manifest, run_dir, "trace")
+    if trace_path is not None and trace_path.exists():
+        trace = json.loads(trace_path.read_text())
+    profile_folded = None
+    profile_path = resolve_artifact(manifest, run_dir, "profile")
+    if profile_path is not None and profile_path.exists():
+        profile_folded = parse_folded(profile_path.read_text())
     output = Path(output) if output is not None else run_dir / "report.html"
     output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(render_report(manifest, decisions))
+    output.write_text(
+        render_report(manifest, decisions, trace=trace, profile_folded=profile_folded)
+    )
     return output

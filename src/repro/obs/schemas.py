@@ -39,6 +39,8 @@ __all__ = [
     "validate_decision",
     "validate_provenance_jsonl",
     "validate_manifest",
+    "validate_speedscope",
+    "trace_process_names",
     "parse_prometheus",
     "parse_labels",
     "unescape_label_value",
@@ -187,7 +189,90 @@ def validate_chrome_trace(obj: dict) -> int:
                     isinstance(event[key], (int, float)) and event[key] >= 0,
                     f"traceEvents[{index}].{key} must be a non-negative number",
                 )
+        elif phase == "M":
+            args = event.get("args")
+            _require(
+                isinstance(args, dict),
+                f"traceEvents[{index}] metadata event missing 'args' object",
+            )
+            if event["name"] in ("process_name", "thread_name"):
+                _require(
+                    isinstance(args.get("name"), str) and args["name"],
+                    f"traceEvents[{index}] {event['name']} args.name must be "
+                    "a non-empty string",
+                )
     return len(events)
+
+
+def trace_process_names(obj: dict) -> dict[int, str]:
+    """``pid -> process name`` from a trace's metadata events.
+
+    The cross-process relay's acceptance check: a parallel run's trace
+    must show at least two named lanes (engine + ≥1 worker)."""
+    names: dict[int, str] = {}
+    for event in obj.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            names[event["pid"]] = event.get("args", {}).get("name", "")
+    return names
+
+
+def validate_speedscope(obj: dict) -> int:
+    """A speedscope JSON profile (``--profile`` export); returns the
+    total number of samples across its profiles."""
+    _require(isinstance(obj, dict), "speedscope profile must be a JSON object")
+    _require(
+        str(obj.get("$schema", "")).endswith("file-format-schema.json"),
+        "speedscope profile missing its $schema marker",
+    )
+    shared = obj.get("shared")
+    _require(
+        isinstance(shared, dict) and isinstance(shared.get("frames"), list),
+        "speedscope profile missing shared.frames",
+    )
+    frames = shared["frames"]
+    for index, frame in enumerate(frames):
+        _require(
+            isinstance(frame, dict) and isinstance(frame.get("name"), str),
+            f"shared.frames[{index}] must have a string name",
+        )
+    profiles = obj.get("profiles")
+    _require(
+        isinstance(profiles, list) and profiles,
+        "speedscope profile needs a non-empty 'profiles' list",
+    )
+    total = 0
+    for p_index, profile in enumerate(profiles):
+        _require(isinstance(profile, dict), f"profiles[{p_index}] must be an object")
+        _require(
+            profile.get("type") == "sampled",
+            f"profiles[{p_index}] must be a 'sampled' profile",
+        )
+        samples = profile.get("samples")
+        weights = profile.get("weights")
+        _require(
+            isinstance(samples, list) and isinstance(weights, list),
+            f"profiles[{p_index}] needs 'samples' and 'weights' lists",
+        )
+        _require(
+            len(samples) == len(weights),
+            f"profiles[{p_index}]: {len(samples)} samples vs {len(weights)} weights",
+        )
+        for s_index, stack in enumerate(samples):
+            _require(
+                isinstance(stack, list)
+                and all(
+                    isinstance(i, int) and 0 <= i < len(frames) for i in stack
+                ),
+                f"profiles[{p_index}].samples[{s_index}] has out-of-range "
+                "frame indices",
+            )
+        for w_index, weight in enumerate(weights):
+            _require(
+                isinstance(weight, (int, float)) and weight >= 0,
+                f"profiles[{p_index}].weights[{w_index}] must be non-negative",
+            )
+        total += len(samples)
+    return total
 
 
 def validate_metrics_snapshot(obj: dict) -> int:

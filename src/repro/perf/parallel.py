@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import importlib
 import multiprocessing
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 from .scoring import pair_evidence
@@ -84,7 +85,7 @@ def make_chunks(
 _WORKER: dict = {}
 
 
-def _init_worker(spec: str, chaos=None) -> None:
+def _init_worker(spec: str, chaos=None, relay: bool = False) -> None:
     module_name, _, qualname = spec.partition(":")
     cls = getattr(importlib.import_module(module_name), qualname)
     _WORKER["domain"] = cls()
@@ -95,6 +96,14 @@ def _init_worker(spec: str, chaos=None) -> None:
     # before each chunk is scored. Production runs pass None.
     _WORKER["chaos"] = chaos
     _WORKER["chunk_index"] = 0
+    # Telemetry capture (parent has a relay attached): spans/counters
+    # buffer here and ship back piggybacked on each chunk's result.
+    if relay:
+        from ..obs.relay import WorkerTelemetry
+
+        _WORKER["telemetry"] = WorkerTelemetry("scoring worker")
+    else:
+        _WORKER["telemetry"] = None
 
 
 def _worker_channels(class_name: str, channel_names: tuple[str, ...]):
@@ -113,6 +122,12 @@ def _worker_channels(class_name: str, channel_names: tuple[str, ...]):
 
 
 def _score_chunk(payload):
+    """Score one chunk; returns ``(evidence_lists, telemetry_payload)``.
+
+    The second element is ``None`` unless the parent attached a relay —
+    the evidence lists themselves are byte-identical either way (the
+    memo-counter side channel never feeds back into scoring).
+    """
     class_name, channel_names, pairs, values = payload
     chaos = _WORKER.get("chaos")
     if chaos is not None:
@@ -121,13 +136,33 @@ def _score_chunk(payload):
         chaos.before_chunk(class_name, pairs, index)
     channels = _worker_channels(class_name, channel_names)
     memo = _WORKER["memo"]
-    return [
-        pair_evidence(channels, values[left], values[right], memo)
+    recorder = _WORKER.get("telemetry")
+    if recorder is None:
+        return (
+            [
+                pair_evidence(channels, values[left], values[right], memo)
+                for left, right in pairs
+            ],
+            None,
+        )
+    stats = recorder.pair_stats()
+    start = time.perf_counter()
+    results = [
+        pair_evidence(channels, values[left], values[right], memo, stats=stats)
         for left, right in pairs
     ]
+    duration = time.perf_counter() - start
+    recorder.add_span(
+        "score_chunk", start, duration, class_name=class_name, pairs=len(pairs)
+    )
+    recorder.count("repro_worker_chunks_total")
+    recorder.count("repro_worker_pairs_scored_total", len(pairs))
+    recorder.absorb_pair_stats(stats)
+    recorder.observe("repro_worker_chunk_seconds", duration)
+    return results, recorder.drain()
 
 
-def iterate_chunk(engine, keys, chaos, chunk_index: int):
+def iterate_chunk(engine, keys, chaos, chunk_index: int, relay: bool = False):
     """Child-side entry for one speculative iterate chunk.
 
     Runs inside a process forked directly off the engine's own, so
@@ -137,6 +172,10 @@ def iterate_chunk(engine, keys, chaos, chunk_index: int):
     *chunk_index* is the parent's submission counter, so chaos
     schedules target iterate chunks as deterministically as build
     chunks.
+
+    Returns ``(payloads, telemetry_payload)``; the telemetry half is
+    ``None`` unless the parent attached a relay. Both travel over the
+    child's result pipe in one pickle.
     """
     if chaos is not None:
         from ..runtime.faults import mark_forked_worker
@@ -145,7 +184,21 @@ def iterate_chunk(engine, keys, chaos, chunk_index: int):
         chaos.before_chunk("__iterate__", list(keys), chunk_index)
     from .speculate import speculate_keys
 
-    return speculate_keys(engine, keys)
+    if not relay:
+        return speculate_keys(engine, keys), None
+    from ..obs.relay import WorkerTelemetry
+
+    recorder = WorkerTelemetry("iterate child")
+    start = time.perf_counter()
+    payloads = speculate_keys(engine, keys)
+    duration = time.perf_counter() - start
+    recorder.add_span(
+        "speculate_chunk", start, duration, keys=len(keys), chunk=chunk_index
+    )
+    recorder.count("repro_iterate_child_chunks_total")
+    recorder.count("repro_iterate_child_keys_total", len(keys))
+    recorder.observe("repro_iterate_child_chunk_seconds", duration)
+    return payloads, recorder.drain()
 
 
 class ParallelScorer:
@@ -159,7 +212,7 @@ class ParallelScorer:
     for the same reason.
     """
 
-    def __init__(self, domain, workers: int, *, chaos=None) -> None:
+    def __init__(self, domain, workers: int, *, chaos=None, relay=None) -> None:
         spec = domain_spec(domain)
         if spec is None:
             raise ValueError(
@@ -170,6 +223,7 @@ class ParallelScorer:
         if workers < 2:
             raise ValueError("ParallelScorer needs at least 2 workers")
         self.workers = workers
+        self._relay = relay
         try:
             # fork shares the already-imported interpreter state; spawn
             # (the only option on some platforms) re-imports per worker.
@@ -180,7 +234,7 @@ class ParallelScorer:
             max_workers=workers,
             mp_context=context,
             initializer=_init_worker,
-            initargs=(spec, chaos),
+            initargs=(spec, chaos, relay is not None),
         )
 
     def __enter__(self) -> "ParallelScorer":
@@ -205,7 +259,9 @@ class ParallelScorer:
             chunk_count = min(len(pairs), self.workers * 4)
             chunks = make_chunks(class_name, channel_names, pairs, values, chunk_count)
             results: list[list[tuple[str, str, str, float]]] = []
-            for chunk_result in self._pool.map(_score_chunk, chunks):
+            for chunk_result, telemetry_payload in self._pool.map(_score_chunk, chunks):
+                if telemetry_payload is not None and self._relay is not None:
+                    self._relay.absorb(telemetry_payload)
                 results.extend(chunk_result)
             return results
         except BaseException:

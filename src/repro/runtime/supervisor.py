@@ -108,6 +108,7 @@ class SupervisedScorer:
         on_degrade=None,
         poison_path: str | Path | None = None,
         chaos=None,
+        relay=None,
     ) -> None:
         spec = domain_spec(domain)
         if spec is None:
@@ -125,6 +126,18 @@ class SupervisedScorer:
         self.on_degrade = on_degrade
         self.poison_path = Path(poison_path) if poison_path else None
         self.chaos = chaos
+        # Cross-process telemetry relay (obs.relay.TelemetryRelay) or
+        # None; workers record spans/counters only when it is attached.
+        self._relay = relay
+        metrics = getattr(telemetry, "metrics", None)
+        self._chunk_hist = (
+            metrics.histogram(
+                "repro_supervised_chunk_seconds",
+                "parent-observed seconds from chunk submission to harvest",
+            )
+            if metrics is not None
+            else None
+        )
         self._spec = spec
         # Degradation ladder: full pool → halved pool → serial. Chunk
         # boundaries always use the *configured* worker count, so a
@@ -179,7 +192,7 @@ class SupervisedScorer:
                 max_workers=self._ladder[self._rung],
                 mp_context=context,
                 initializer=_init_worker,
-                initargs=(self._spec, self.chaos),
+                initargs=(self._spec, self.chaos, self._relay is not None),
             )
             self._pools_built += 1
             if self._pools_built > 1:
@@ -197,8 +210,15 @@ class SupervisedScorer:
                 )
         return self._pool
 
-    def _kill_pool(self) -> None:
-        """Tear the pool down *now*, terminating hung or dead workers."""
+    def _kill_pool(self, reason: str | None = None) -> None:
+        """Tear the pool down *now*, terminating hung or dead workers.
+
+        When a *reason* is given and a relay is attached, the teardown
+        is attributed to the lane(s) that caused it: workers already
+        dead get the blame; if every worker is still alive (a hang),
+        all of them are marked, since the hung one cannot be told apart
+        from the parent.
+        """
         pool, self._pool = self._pool, None
         if pool is None:
             return
@@ -206,6 +226,10 @@ class SupervisedScorer:
             processes = list(getattr(pool, "_processes", {}).values())
         except Exception:  # pragma: no cover - interpreter internals moved
             processes = []
+        if self._relay is not None and reason is not None:
+            dead = [process for process in processes if not process.is_alive()]
+            for process in dead or processes:
+                self._relay.lane_died(process.pid, reason)
         pool.shutdown(wait=False, cancel_futures=True)
         for process in processes:
             try:
@@ -223,7 +247,7 @@ class SupervisedScorer:
 
     def _descend(self, reason: str) -> None:
         """Walk the ladder one rung down: fewer workers, then serial."""
-        self._kill_pool()
+        self._kill_pool(reason)
         if self._rung + 1 < len(self._ladder):
             self._rung += 1
             self._emit(
@@ -282,11 +306,23 @@ class SupervisedScorer:
             flattened.extend(chunk_result)
         return flattened
 
+    def _absorb_chunk(self, outcome, elapsed: float) -> list:
+        """Unpack one ``_score_chunk`` result: relay the piggybacked
+        telemetry payload, record the parent-observed latency, return
+        the evidence lists."""
+        chunk_result, telemetry_payload = outcome
+        if telemetry_payload is not None and self._relay is not None:
+            self._relay.absorb(telemetry_payload)
+        if self._chunk_hist is not None:
+            self._chunk_hist.observe(elapsed)
+        return chunk_result
+
     def _optimistic(self, chunks: list, results: list) -> list[int]:
         """Submit every chunk to the pool at once; harvest what
         succeeds, return the indices that need supervision."""
         try:
             pool = self._ensure_pool()
+            submitted = time.perf_counter()
             futures = [pool.submit(_score_chunk, chunk) for chunk in chunks]
         except Exception:
             self._kill_pool()
@@ -298,21 +334,26 @@ class SupervisedScorer:
                 # The pool is gone; salvage chunks that finished first.
                 if future.done():
                     try:
-                        results[index] = future.result()
+                        results[index] = self._absorb_chunk(
+                            future.result(), time.perf_counter() - submitted
+                        )
                         continue
                     except Exception:
                         pass
                 failed.append(index)
                 continue
             try:
-                results[index] = future.result(timeout=self.policy.task_timeout)
+                results[index] = self._absorb_chunk(
+                    future.result(timeout=self.policy.task_timeout),
+                    time.perf_counter() - submitted,
+                )
             except FuturesTimeout:
                 self._note_timeout(chunks[index])
-                self._kill_pool()
+                self._kill_pool("task timeout")
                 failed.append(index)
                 dead = True
             except BrokenProcessPool:
-                self._kill_pool()
+                self._kill_pool("worker crash (BrokenProcessPool)")
                 failed.append(index)
                 dead = True
             except Exception:
@@ -390,18 +431,22 @@ class SupervisedScorer:
             time.sleep(self.policy.backoff(attempt, self._rng))
             try:
                 pool = self._ensure_pool()
-                return "ok", pool.submit(_score_chunk, chunk).result(
+                submitted = time.perf_counter()
+                outcome = pool.submit(_score_chunk, chunk).result(
                     timeout=self.policy.task_timeout
+                )
+                return "ok", self._absorb_chunk(
+                    outcome, time.perf_counter() - submitted
                 )
             except FuturesTimeout:
                 self._note_timeout(chunk)
-                self._kill_pool()
+                self._kill_pool("task timeout")
                 failure = (
                     "timeout",
                     f"timed out after {self.policy.task_timeout}s",
                 )
             except BrokenProcessPool:
-                self._kill_pool()
+                self._kill_pool("worker crash (BrokenProcessPool)")
                 failure = ("crash", "worker process died (BrokenProcessPool)")
             except Exception as exc:
                 failure = ("error", f"{type(exc).__name__}: {exc}")
@@ -429,6 +474,7 @@ class SupervisedScorer:
         """
         class_name, channel_names, pairs, values = chunk
         channels = self._channels_for(class_name, channel_names)
+        started = time.perf_counter()
         out = []
         for left, right in pairs:
             try:
@@ -444,6 +490,8 @@ class SupervisedScorer:
                     class_name, (left, right), f"{type(exc).__name__}: {exc}"
                 )
                 out.append([])
+        if self._chunk_hist is not None:
+            self._chunk_hist.observe(time.perf_counter() - started)
         return out
 
     # -- poisoning ------------------------------------------------------
@@ -518,6 +566,7 @@ class IterateSupervisor:
         telemetry=None,
         on_degrade=None,
         chaos=None,
+        relay=None,
     ) -> None:
         if workers < 2:
             raise ValueError("IterateSupervisor needs at least 2 workers")
@@ -532,6 +581,16 @@ class IterateSupervisor:
         self.telemetry = telemetry
         self.on_degrade = on_degrade
         self.chaos = chaos
+        self._relay = relay
+        metrics = getattr(telemetry, "metrics", None)
+        self._chunk_hist = (
+            metrics.histogram(
+                "repro_supervised_chunk_seconds",
+                "parent-observed seconds from chunk submission to harvest",
+            )
+            if metrics is not None
+            else None
+        )
         # Degradation ladder: full concurrency → halved → serial (= no
         # speculation). Descents change how much work is speculated,
         # never what the run computes.
@@ -593,7 +652,9 @@ class IterateSupervisor:
                 # about to reclaim wholesale.
                 gc.disable()
                 os.close(read_fd)
-                payloads = iterate_chunk(self.engine, keys, self.chaos, index)
+                payloads = iterate_chunk(
+                    self.engine, keys, self.chaos, index, self._relay is not None
+                )
                 data = pickle.dumps(payloads, protocol=pickle.HIGHEST_PROTOCOL)
                 view = memoryview(data)
                 while view:
@@ -611,7 +672,9 @@ class IterateSupervisor:
                 os._exit(0)
         os.close(write_fd)
         self._live[pid] = read_fd
-        return _ChunkHandle(keys, pid, read_fd, index)
+        handle = _ChunkHandle(keys, pid, read_fd, index)
+        handle.forked_at = time.perf_counter()
+        return handle
 
     def harvest(self, handle) -> list | None:
         """Per-key payloads for a submitted chunk, or ``None`` when
@@ -691,13 +754,31 @@ class IterateSupervisor:
             os.close(handle.fd)
             self._reap(handle.pid)
         if failure is not None:
+            if self._relay is not None:
+                self._relay.lane_died(handle.pid, failure[1], lane="iterate child")
             return failure
         try:
-            payloads = pickle.loads(b"".join(parts))
+            message = pickle.loads(b"".join(parts))
         except Exception:
+            if self._relay is not None:
+                self._relay.lane_died(
+                    handle.pid, "died mid-chunk", lane="iterate child"
+                )
             return ("crash", "iterate child died mid-chunk")
+        if not (isinstance(message, tuple) and len(message) == 2):
+            payloads, telemetry_payload = None, None
+        else:
+            payloads, telemetry_payload = message
         if not isinstance(payloads, list) or len(payloads) != len(handle.keys):
+            if self._relay is not None:
+                self._relay.lane_died(
+                    handle.pid, "malformed chunk", lane="iterate child"
+                )
             return ("crash", "iterate child returned a malformed chunk")
+        if telemetry_payload is not None and self._relay is not None:
+            self._relay.absorb(telemetry_payload)
+        if self._chunk_hist is not None:
+            self._chunk_hist.observe(time.perf_counter() - handle.forked_at)
         return ("ok", payloads)
 
     def _note_timeout(self, handle) -> None:
@@ -781,7 +862,16 @@ class _ChunkHandle:
     stamped and maintained by the executor after submission.
     """
 
-    __slots__ = ("keys", "pid", "fd", "index", "fork_seq", "started", "remaining")
+    __slots__ = (
+        "keys",
+        "pid",
+        "fd",
+        "index",
+        "fork_seq",
+        "started",
+        "remaining",
+        "forked_at",
+    )
 
     def __init__(self, keys: list, pid: int, fd: int, index: int) -> None:
         self.keys = keys
@@ -791,3 +881,4 @@ class _ChunkHandle:
         self.fork_seq = 0
         self.started = 0.0
         self.remaining = len(keys)
+        self.forked_at = 0.0

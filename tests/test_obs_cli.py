@@ -164,6 +164,44 @@ class TestRunDir:
         assert provenance == run_dir / "provenance.jsonl"
         assert validate_provenance_jsonl(provenance) > 0
 
+    def test_event_stream_defaults_into_run_dir(self, run_dir):
+        from repro.obs import load_manifest, resolve_artifact, validate_event_log
+
+        manifest = load_manifest(run_dir)
+        events = resolve_artifact(manifest, run_dir, "events")
+        assert events == run_dir / "events.jsonl"
+        assert validate_event_log(events) > 0
+
+    def test_watch_once_renders_the_recorded_run(self, run_dir, capsys):
+        assert main(["watch", str(run_dir), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "run: PIM B (depgraph)" in out
+        assert "result: completed" in out
+
+    def test_profile_artifacts_land_in_run_dir(self, dataset_dir, tmp_path):
+        from repro.obs import (
+            load_manifest,
+            parse_folded,
+            resolve_artifact,
+            validate_speedscope,
+        )
+
+        directory = tmp_path / "profiled"
+        code = main([
+            "evaluate", str(dataset_dir), "--run-dir", str(directory),
+            "--profile",
+        ])
+        assert code == 0
+        manifest = load_manifest(directory)
+        folded = resolve_artifact(manifest, directory, "profile")
+        speedscope = resolve_artifact(manifest, directory, "speedscope")
+        assert folded == directory / "profile.folded" and folded.exists()
+        assert speedscope == directory / "profile.speedscope.json"
+        validate_speedscope(json.loads(speedscope.read_text()))
+        # Folded export parses back (it may be empty on a very fast run;
+        # the file itself must still exist and be well-formed).
+        parse_folded(folded.read_text())
+
     def test_explain_resolves_provenance_from_manifest(
         self, dataset_dir, run_dir, capsys
     ):

@@ -65,6 +65,43 @@ def test_partition_identical_with_all_sinks_attached(name, tmp_path):
     assert "repro_merges_total" in telemetry.metrics
 
 
+@pytest.mark.parametrize("name", ["A", "B", "C", "D", "cora"])
+def test_parallel_run_identical_with_full_observability(name, tmp_path):
+    """The PR-8 contract: every observer at once — all four sinks, the
+    cross-process relay (implied by workers + telemetry), the sampling
+    profiler and the live HUD — on a parallel engine, and the partition
+    still matches a bare serial run."""
+    import io
+
+    from repro.obs.live import LiveHud
+    from repro.obs.profile import SamplingProfiler
+
+    dataset, domain_factory = _dataset(name)
+    _, baseline = _run(dataset, domain_factory)
+    clear_similarity_caches()
+    telemetry = Telemetry.enabled(
+        log_path=tmp_path / "events.jsonl",
+        log_level="debug",
+        trace=True,
+        metrics=True,
+        provenance=True,
+        provenance_path=tmp_path / "prov.jsonl",
+    )
+    config = EngineConfig(workers=2, iterate_workers=2, iterate_batch=16)
+    engine = Reconciler(
+        dataset.store, domain_factory(), config, telemetry=telemetry
+    )
+    hud = LiveHud(io.StringIO(), interval=0.0)
+    with SamplingProfiler(interval=0.005):
+        result = engine.run(step_hook=hud.step_hook)
+    hud.close()
+    telemetry.close()
+    assert result.partitions == baseline.partitions
+    # The relay actually engaged: the build's scoring ran in workers.
+    assert engine._relay is not None
+    assert engine._relay.payloads > 0
+
+
 def test_counters_identical_with_and_without_telemetry(tiny_pim_a):
     plain, plain_result = _run(tiny_pim_a, PimDomainModel)
     telemetry = Telemetry.enabled(trace=True, metrics=True, provenance=True)

@@ -1,0 +1,107 @@
+"""The sampling profiler: capture, exports, and schema validation."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import SamplingProfiler, parse_folded, top_frames_from_folded
+from repro.obs.schemas import SchemaError, validate_speedscope
+
+
+def _busy_for(seconds: float) -> int:
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(200))
+    return total
+
+
+class TestSampling:
+    def test_samples_the_calling_thread(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            _busy_for(0.2)
+        assert profiler.sample_count > 0
+        assert profiler.samples
+        # The busy frame shows up in at least one sampled stack.
+        assert any(
+            any(label.startswith("_busy_for") for label in stack)
+            for stack in profiler.samples
+        )
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0)
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(interval=0.05).start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler(interval=0.05).start()
+        profiler.stop()
+        profiler.stop()
+
+
+class TestExports:
+    @pytest.fixture()
+    def profiler(self):
+        profiler = SamplingProfiler(interval=0.01)
+        # Deterministic synthetic samples — the export paths should not
+        # depend on scheduler luck.
+        profiler.samples = {
+            ("main", "run", "score"): 5,
+            ("main", "run", "merge"): 3,
+            ("main", "flush"): 2,
+        }
+        profiler.sample_count = 10
+        return profiler
+
+    def test_folded_round_trips_through_parse(self, profiler, tmp_path):
+        path = profiler.write_folded(tmp_path / "profile.folded")
+        assert parse_folded(path.read_text()) == {
+            "main;run;score": 5,
+            "main;run;merge": 3,
+            "main;flush": 2,
+        }
+
+    def test_folded_output_is_byte_stable(self, profiler):
+        assert profiler.folded() == profiler.folded()
+
+    def test_speedscope_validates_and_weights_match(self, profiler, tmp_path):
+        path = profiler.write_speedscope(tmp_path / "p.speedscope.json", "t")
+        obj = json.loads(path.read_text())
+        assert validate_speedscope(obj) == 3  # three distinct stacks
+        profile = obj["profiles"][0]
+        assert profile["unit"] == "seconds"
+        # 10 samples at 10ms each = 0.1s of attributed wall clock.
+        assert sum(profile["weights"]) == pytest.approx(0.1)
+        assert profile["endValue"] == pytest.approx(0.1)
+        frames = obj["shared"]["frames"]
+        for sample in profile["samples"]:
+            assert all(0 <= index < len(frames) for index in sample)
+
+    def test_top_frames_rank_self_then_total(self, profiler):
+        frames = profiler.top_frames(3)
+        assert frames[0] == {"frame": "score", "self": 5, "total": 5}
+        assert frames[1] == {"frame": "merge", "self": 3, "total": 3}
+        assert frames[2] == {"frame": "flush", "self": 2, "total": 2}
+        # "run" and "main" are hot by total but never the leaf.
+        all_frames = top_frames_from_folded(profiler.folded(), 10)
+        by_name = {frame["frame"]: frame for frame in all_frames}
+        assert by_name["run"] == {"frame": "run", "self": 0, "total": 8}
+        assert by_name["main"] == {"frame": "main", "self": 0, "total": 10}
+
+
+class TestParseFolded:
+    def test_skips_malformed_lines(self):
+        text = "a;b 3\nnot-a-count x\n\n   \nc 2\nc 1\n"
+        assert parse_folded(text) == {"a;b": 3, "c": 3}
+
+    def test_speedscope_schema_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            validate_speedscope({"profiles": []})
