@@ -165,6 +165,11 @@ def _measure(
                 telemetry.metrics, "repro_queue_depth"
             ),
         },
+        # Workload attribution: where a timing regression would live.
+        # The top-3 blocks by candidate pairs plus per-class blocking
+        # skew — a bench row whose skew jumped explains its own
+        # slowdown without re-running anything.
+        "hotspots": _hotspot_digest(engine),
     }
     if manifest_dir is not None:
         # One run manifest per bench row: bench history and run history
@@ -174,6 +179,27 @@ def _measure(
         manifest = build_manifest(dataset=dataset, reconciler=engine, result=result)
         row["manifest"] = str(write_manifest(manifest, manifest_dir))
     return result, row
+
+
+def _hotspot_digest(engine) -> dict | None:
+    """Top-3 hot blocks + per-class skew from the engine's sketch."""
+    hotspots = getattr(engine, "hotspots", None)
+    if hotspots is None:
+        return None
+    summary = hotspots.summary(top=3)
+    return {
+        "top_blocks": summary["top_blocks"],
+        "skew": {
+            class_name: {
+                "blocks": stats["blocks"],
+                "gini": stats["gini"],
+                "max_block": stats["max_block"],
+                "max_pair_share": stats["max_pair_share"],
+                "oversized": stats["oversized"],
+            }
+            for class_name, stats in summary["skew"].items()
+        },
+    }
 
 
 def _histogram_summary(registry, name: str) -> dict | None:

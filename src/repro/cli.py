@@ -21,6 +21,15 @@ Commands:
 * ``watch`` — monitor a run directory from a second terminal: tail its
   ``events.jsonl`` like ``tail -f``, or print one snapshot and exit
   with ``--once``. Works on concurrent *and* finished runs.
+* ``doctor`` — post-mortem diagnosis of a recorded run: reads the
+  crash bundle (when the run crashed or degraded) and the manifest,
+  prints what failed, what degraded, the flight-recorder tail and
+  actionable hints. Exit code 0 = clean, 1 = crashed/degraded,
+  2 = nothing to diagnose.
+* ``hotspots`` — heavy-hitter workload attribution for a recorded
+  run: hottest blocks by candidate pairs, most-recomputed reference
+  pairs by attributed wall time, similarity-channel comparison
+  counts, and per-class blocking skew (Gini / max-block share).
 
 ``reconcile`` / ``evaluate`` / ``explain`` accept ``--run-dir DIR`` to
 collect a run's artifacts in one directory and emit a versioned
@@ -34,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -304,6 +314,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop following after the log has been silent this long "
         "(default: follow until run_end arrives)",
     )
+
+    doctor = commands.add_parser(
+        "doctor", help="post-mortem diagnosis of a recorded run"
+    )
+    doctor.add_argument(
+        "run_dir",
+        help="a run directory (reads crash_bundle.json and run.json when "
+        "present) or a crash_bundle.json path",
+    )
+
+    hotspots = commands.add_parser(
+        "hotspots", help="heavy-hitter workload attribution for a run"
+    )
+    hotspots.add_argument(
+        "run_dir", help="a run directory containing run.json (or the file)"
+    )
+    hotspots.add_argument(
+        "--json", action="store_true",
+        help="print the manifest's raw hotspot summary as JSON instead "
+        "of the rendered tables",
+    )
     return parser
 
 
@@ -368,6 +399,12 @@ def _apply_run_dir(options) -> Path | None:
     run_dir = Path(run_dir)
     run_dir.mkdir(parents=True, exist_ok=True)
     resuming = bool(getattr(options, "resume", None))
+    if not resuming:
+        # A stale crash bundle describes some *previous* run; a fresh
+        # run must start with none so its absence means "clean".
+        from .obs.flight import CRASH_BUNDLE_FILENAME
+
+        (run_dir / CRASH_BUNDLE_FILENAME).unlink(missing_ok=True)
     if getattr(options, "provenance", None) is None:
         default = run_dir / "provenance.jsonl"
         if not resuming:
@@ -407,7 +444,28 @@ def _run_artifacts(options, run_dir: Path) -> dict:
     if getattr(options, "profile", False):
         artifacts["profile"] = "profile.folded"
         artifacts["speedscope"] = "profile.speedscope.json"
+    if int(getattr(options, "workers", 1) or 1) > 1:
+        artifacts["poison_log"] = "poisoned_pairs.jsonl"
     return artifacts
+
+
+def _dump_bundle(run_dir: Path, reconciler, *, reason, exc=None, stop_reason=None):
+    """Best-effort crash-bundle dump; never masks the original error."""
+    from .obs.flight import build_crash_bundle, dump_crash_bundle
+
+    try:
+        phase = "iterate" if getattr(reconciler, "_built", False) else "build"
+        bundle = build_crash_bundle(
+            reason=reason,
+            engine=reconciler,
+            exc=exc,
+            phase=phase,
+            stop_reason=stop_reason,
+        )
+        return dump_crash_bundle(run_dir, bundle)
+    except Exception as dump_error:  # pragma: no cover - defensive
+        print(f"crash-bundle dump failed: {dump_error!r}", file=sys.stderr)
+        return None
 
 
 def _run(directory: str, algorithm: str, options=None, telemetry=None):
@@ -489,6 +547,20 @@ def _run(directory: str, algorithm: str, options=None, telemetry=None):
         # (checkpointed) recomputation counter, so attaching after
         # resume reproduces an uninterrupted run's samples.
         reconciler.attach_convergence(dataset.gold.entity_of, every=50)
+    chaos_env = os.environ.get("REPRO_CHAOS")
+    if chaos_env:
+        # Fault-injection seam for the CI crash-bundle job: a JSON
+        # ChaosInjector spec (e.g. {"kill_at_chunk": 1}) attached to
+        # the engine so a worker dies mid-run on demand.
+        from .runtime.faults import ChaosInjector
+
+        spec = json.loads(chaos_env)
+        marker = spec.pop("marker_dir", None)
+        if marker is None and run_dir is not None:
+            marker = str(run_dir / "chaos_markers")
+        if "raise_pairs" in spec:
+            spec["raise_pairs"] = tuple(tuple(pair) for pair in spec["raise_pairs"])
+        reconciler.chaos = ChaosInjector(marker_dir=marker, **spec)
     profiler = None
     if getattr(options, "profile", False):
         from .obs.profile import SamplingProfiler
@@ -506,6 +578,20 @@ def _run(directory: str, algorithm: str, options=None, telemetry=None):
             checkpointer=checkpointer,
             step_hook=hud.step_hook if hud is not None else None,
         )
+    except BaseException as exc:
+        # The flight recorder's whole purpose: an unhandled failure in
+        # a --run-dir run leaves a post-mortem bundle behind. Dumping
+        # is best-effort and the original exception always propagates.
+        if run_dir is not None:
+            bundle_path = _dump_bundle(
+                run_dir,
+                reconciler,
+                reason=f"unhandled {type(exc).__name__} during run",
+                exc=exc,
+            )
+            if bundle_path is not None:
+                print(f"wrote crash bundle to {bundle_path}", file=sys.stderr)
+        raise
     finally:
         if hud is not None:
             hud.phase("done")
@@ -543,12 +629,41 @@ def _run(directory: str, algorithm: str, options=None, telemetry=None):
     if options is not None and getattr(options, "stats", False):
         print(render_stats(reconciler.stats), file=sys.stderr)
     if run_dir is not None:
+        from .obs.flight import CRASH_BUNDLE_FILENAME
+
+        if result.degraded:
+            # The run finished but not cleanly (guard trip, pool
+            # collapse, poisoned pairs, ...): leave a bundle so
+            # `repro doctor` can explain what degraded and why.
+            kinds = sorted({event.kind for event in result.degradations})
+            reason = (
+                "degraded run: " + ", ".join(kinds)
+                if kinds
+                else "incomplete run"
+            )
+            bundle_path = _dump_bundle(
+                run_dir,
+                reconciler,
+                reason=reason,
+                stop_reason=result.stop_reason,
+            )
+            if bundle_path is not None:
+                print(f"wrote crash bundle to {bundle_path}", file=sys.stderr)
+        else:
+            # A clean finish clears any bundle left by a crashed
+            # attempt this run resumed from: no bundle == clean.
+            (run_dir / CRASH_BUNDLE_FILENAME).unlink(missing_ok=True)
+        artifacts = _run_artifacts(options, run_dir)
+        if (run_dir / CRASH_BUNDLE_FILENAME).exists():
+            # Execution-dependent by nature, and the artifacts section
+            # is excluded from the manifest's invariant view.
+            artifacts["crash_bundle"] = CRASH_BUNDLE_FILENAME
         manifest = build_manifest(
             dataset=dataset,
             reconciler=reconciler,
             result=result,
             algorithm=algorithm,
-            artifacts=_run_artifacts(options, run_dir),
+            artifacts=artifacts,
             resumed=bool(resume_path),
         )
         manifest_path = write_manifest(manifest, run_dir)
@@ -756,6 +871,51 @@ def _cmd_watch(args) -> int:
     return 0
 
 
+def _cmd_doctor(args) -> int:
+    from .obs.flight import load_crash_bundle
+    from .obs.render import render_doctor
+
+    run_path = Path(args.run_dir)
+    base = run_path if run_path.is_dir() else run_path.parent
+    bundle = load_crash_bundle(run_path)
+    manifest = None
+    try:
+        manifest = load_manifest(base)
+    except (FileNotFoundError, json.JSONDecodeError):
+        manifest = None
+    print(render_doctor(bundle, manifest))
+    if bundle is None and manifest is None:
+        return 2
+    if bundle is not None:
+        return 1
+    run = manifest.get("run", {})
+    degraded = bool(manifest.get("degradations")) or not run.get("completed", False)
+    return 1 if degraded else 0
+
+
+def _cmd_hotspots(args) -> int:
+    from .obs.render import render_hotspots
+
+    try:
+        manifest = load_manifest(args.run_dir)
+    except FileNotFoundError:
+        print(f"no run.json found at {args.run_dir}", file=sys.stderr)
+        return 2
+    hotspots = (manifest.get("execution") or {}).get("hotspots")
+    if not hotspots:
+        print(
+            "manifest records no hotspot attribution "
+            "(recorded by --run-dir runs from this version onward)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(hotspots, indent=2, sort_keys=True))
+    else:
+        print(render_hotspots(hotspots))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -767,8 +927,18 @@ def main(argv: list[str] | None = None) -> int:
         "diff": _cmd_diff,
         "report": _cmd_report,
         "watch": _cmd_watch,
+        "doctor": _cmd_doctor,
+        "hotspots": _cmd_hotspots,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pipe reader (head, grep -q) closed early; not an
+        # error.  Detach stdout so interpreter teardown doesn't retry
+        # the flush and traceback anyway.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

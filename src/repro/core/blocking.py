@@ -38,6 +38,11 @@ class BlockingIndex:
         for key in keys:
             self._buckets.setdefault(key, {})[ref_id] = None
 
+    def block_sizes(self) -> dict[str, int]:
+        """Member count per block key — the raw material for skew
+        statistics (Gini, max-block share) in the hotspot sketch."""
+        return {key: len(bucket) for key, bucket in self._buckets.items()}
+
     def add_and_pairs(self, ref_id: str, keys: Iterable[str]) -> list[PairKey]:
         """Add *ref_id* and return its candidate pairs against the
         previous members of its buckets (incremental reconciliation).

@@ -27,6 +27,8 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..obs.flight import FlightRecorder
+from ..obs.hotspots import HotspotSketch
 from ..obs.telemetry import NULL_TELEMETRY, Telemetry
 from ..perf.scoring import channel_value_pairs, pair_evidence
 from ..runtime.errors import BudgetExceeded, DeadlineExceeded, GuardTripped, QueueEmpty
@@ -178,6 +180,15 @@ class Reconciler:
         # a parallel scorer/speculator is built with live sinks; stays
         # None (zero cost) when telemetry is off or provenance-only.
         self._relay = None
+        #: always-on black-box: bounded ring buffers of recent events,
+        #: decisions, chunk timings and degradations, dumped as a crash
+        #: bundle when a run dies. Strictly observational (set to None
+        #: to prove byte-identity); never checkpointed or fingerprinted.
+        self.flight = FlightRecorder()
+        #: streaming heavy-hitter attribution (blocks/pairs/channels +
+        #: blocking skew); observational like the recorder, surfaced in
+        #: the manifest's execution section and `repro hotspots`.
+        self.hotspots = HotspotSketch()
 
     def _get_relay(self):
         if self._relay is None and self.telemetry.active:
@@ -347,6 +358,8 @@ class Reconciler:
         started = time.perf_counter()
         tel = self.telemetry
         tel.emit("info", "build_start", references=len(self.store))
+        if self.flight is not None:
+            self.flight.note_event("build_start", references=len(self.store))
         with tel.span("build"):
             self.store.validate()
             if self.config.premerge_keys:
@@ -361,6 +374,12 @@ class Reconciler:
                     with tel.span(f"build_class:{class_name}", class_name=class_name):
                         per_class_nodes[class_name] = self._build_class_nodes(
                             class_name, scorer=scorer
+                        )
+                    if self.hotspots is not None:
+                        # The index is filled and iterated by now, so
+                        # sizes and oversized counts are both final.
+                        self.hotspots.note_blocks(
+                            class_name, self._block_indexes[class_name]
                         )
                     tel.emit(
                         "debug",
@@ -413,11 +432,20 @@ class Reconciler:
             value_nodes=self.stats.value_nodes,
             queued=len(self.queue),
         )
+        if self.flight is not None:
+            self.flight.note_event(
+                "build_end",
+                seconds=round(self.stats.build_seconds, 6),
+                pair_nodes=self.stats.pair_nodes,
+                queued=len(self.queue),
+            )
         self._built = True
 
     def _degrade(self, event: DegradationEvent) -> None:
         """Record a degradation in the stats *and* the event stream."""
         self.stats.degradations.append(event)
+        if self.flight is not None:
+            self.flight.note_degradation(event.kind, event.detail)
         self.telemetry.emit("warning", "degradation", kind=event.kind, detail=event.detail)
 
     def _premerge_by_keys(self) -> None:
@@ -464,6 +492,7 @@ class Reconciler:
                 poison_path=self.config.poison_log,
                 chaos=self.chaos,
                 relay=self._get_relay(),
+                flight=self.flight,
             )
         except Exception as exc:
             self._degrade(
@@ -790,6 +819,8 @@ class Reconciler:
         trip: GuardTripped | None = None
         step = 0
         tel = self.telemetry
+        if self.flight is not None:
+            self.flight.note_event("iterate_start", queued=len(self.queue))
         # Per-step instrumentation is resolved once, outside the loop:
         # with telemetry off every extra is None and the loop body is
         # the exact pre-observability code path.
@@ -887,6 +918,12 @@ class Reconciler:
             )
             if tel.metrics is not None:
                 tel.metrics.absorb_stats(self.stats)
+                if self.hotspots is not None:
+                    self.hotspots.export_metrics(tel.metrics)
+        if self.flight is not None:
+            self.flight.note_event(
+                "iterate_end", stop_reason=self.stop_reason, steps=step
+            )
         if trip is not None and raise_on_trip:
             raise trip
         return self._result()
@@ -920,6 +957,9 @@ class Reconciler:
         caller's final trace flush.
         """
         tel = self.telemetry
+        # Hoisted like the telemetry extras: with the sketch detached
+        # the loop body is the exact pre-observability code path.
+        hotspots = self.hotspots
         step = 0
         trip: GuardTripped | None = None
         while self.queue:
@@ -971,6 +1011,7 @@ class Reconciler:
                 continue
             speculative = speculator.claim(key) if speculator is not None else None
             node.status = NodeStatus.INACTIVE
+            pair_started = time.perf_counter() if hotspots is not None else 0.0
             if instrumented:
                 if queue_hist is not None:
                     queue_hist.observe(len(self.queue) + 1)
@@ -1004,6 +1045,10 @@ class Reconciler:
                         chunk_merges = self.stats.merges
             else:
                 changed = self._process(node, speculative=speculative)
+            if hotspots is not None:
+                hotspots.note_pair(
+                    node.key, node.class_name, time.perf_counter() - pair_started
+                )
             if speculator is not None and changed:
                 speculator.note_commit(key, node.key)
             step += 1
@@ -1037,6 +1082,7 @@ class Reconciler:
                 on_degrade=self._degrade,
                 chaos=self.chaos,
                 relay=self._get_relay(),
+                flight=self.flight,
             )
         except Exception as exc:
             self._degrade(
@@ -1105,9 +1151,15 @@ class Reconciler:
         speculation must be invalidated.
         """
         prov = self.telemetry.provenance
+        # Flight-recorder decision ring: fed unconditionally (not just
+        # under --provenance) so a crash bundle always carries the tail
+        # of decisions leading up to the failure.
+        fl = self.flight
         if self.uf.connected(node.left, node.right):
             node.status = NodeStatus.MERGED
             node.score = 1.0
+            if fl is not None:
+                fl.note_decision(node.key, node.class_name, "transitive_merge", 1.0)
             if prov is not None:
                 trigger, trigger_pair = prov.take_activation(node.key)
                 prov.record(
@@ -1133,15 +1185,15 @@ class Reconciler:
         self.stats.recomputations += 1
         if new_score is None:  # a conflict: mark non-merge (or late merge)
             self._mark_non_merge(node)
+            decision = (
+                "transitive_merge"
+                if node.status is NodeStatus.MERGED
+                else "non_merge_conflict"
+            )
+            if fl is not None:
+                fl.note_decision(node.key, node.class_name, decision, node.score)
             if prov is not None:
-                self._record_decision(
-                    prov,
-                    node,
-                    capture,
-                    "transitive_merge"
-                    if node.status is NodeStatus.MERGED
-                    else "non_merge_conflict",
-                )
+                self._record_decision(prov, node, capture, decision)
             return True
         # Monotone by construction; the max() enforces the §3.2
         # termination requirement even for imperfect domain functions.
@@ -1149,17 +1201,19 @@ class Reconciler:
         increased = node.score > old_score + self.config.epsilon
         if node.score >= self.domain.merge_threshold(node.class_name):
             self._merge(node)
+            decision = (
+                "merge" if node.status is NodeStatus.MERGED else "non_merge_enemy"
+            )
+            if fl is not None:
+                fl.note_decision(node.key, node.class_name, decision, node.score)
             if prov is not None:
-                self._record_decision(
-                    prov,
-                    node,
-                    capture,
-                    "merge" if node.status is NodeStatus.MERGED else "non_merge_enemy",
-                )
+                self._record_decision(prov, node, capture, decision)
             return True
         if increased and self.config.propagate:
             for neighbour in self.graph.real_out_nodes(node):
                 self._activate(neighbour, front=False, cause="real", source=node)
+        if fl is not None:
+            fl.note_decision(node.key, node.class_name, "defer", node.score)
         if prov is not None:
             self._record_decision(prov, node, capture, "defer")
         return node.score != old_score
@@ -1242,6 +1296,9 @@ class Reconciler:
             capture["s_rv"] = s_rv
             capture["strong"] = strong
             capture["weak"] = weak
+        hotspots = self.hotspots
+        if hotspots is not None:
+            hotspots.note_channels(evidence)
         return min(total, 1.0)
 
     def _assoc_score(self, node: PairNode, channel) -> float | None:

@@ -44,6 +44,14 @@ enters checkpoints or their fingerprints.
 
 from .diffing import DiffVerdict, diff_runs
 from .events import LEVELS, EventLog
+from .flight import (
+    CRASH_BUNDLE_FILENAME,
+    FlightRecorder,
+    build_crash_bundle,
+    dump_crash_bundle,
+    load_crash_bundle,
+)
+from .hotspots import HotspotSketch, SpaceSaving, gini
 from .live import (
     LiveHud,
     follow_events,
@@ -77,12 +85,15 @@ from .render import (
     hit_rate,
     render_degradations,
     render_diff,
+    render_doctor,
+    render_hotspots,
     render_quarantine,
     render_stats,
 )
 from .report_html import render_report, write_report
 from .schemas import (
     SchemaError,
+    validate_crash_bundle,
     parse_labels,
     parse_prometheus,
     trace_process_names,
@@ -125,9 +136,20 @@ __all__ = [
     "hit_rate",
     "render_degradations",
     "render_diff",
+    "render_doctor",
+    "render_hotspots",
     "render_quarantine",
     "render_stats",
+    "CRASH_BUNDLE_FILENAME",
+    "FlightRecorder",
+    "build_crash_bundle",
+    "dump_crash_bundle",
+    "load_crash_bundle",
+    "HotspotSketch",
+    "SpaceSaving",
+    "gini",
     "SchemaError",
+    "validate_crash_bundle",
     "parse_labels",
     "parse_prometheus",
     "trace_process_names",

@@ -285,13 +285,22 @@ def _hud_from_snapshot(snap: dict) -> str:
 
 
 def read_events(path: str | Path) -> list[dict]:
-    """Parse an events.jsonl file, skipping torn/partial trailing lines
-    (a concurrent writer may be mid-append)."""
+    """Parse an events.jsonl file, tolerating a reader/writer race.
+
+    A concurrent writer may be mid-append, so an unterminated final
+    line is a *fragment*, not corruption: it is held back entirely and
+    picked up complete on the next poll (:func:`follow_events` re-reads
+    the file once it grows again), never half-parsed or dropped.
+    Interior lines that fail to parse are genuine corruption and are
+    skipped.
+    """
     events = []
     try:
         text = Path(path).read_text()
     except FileNotFoundError:
         return events
+    if text and not text.endswith("\n"):
+        text = text[: text.rfind("\n") + 1]
     for line in text.splitlines():
         line = line.strip()
         if not line:

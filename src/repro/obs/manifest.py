@@ -175,6 +175,7 @@ def build_manifest(
     phase_seconds = tracer.phase_timings() if tracer is not None else {}
     metrics = getattr(reconciler.telemetry, "metrics", None)
     relay = getattr(reconciler, "_relay", None)
+    hotspots = getattr(reconciler, "hotspots", None)
     return {
         "manifest_version": MANIFEST_VERSION,
         "kind": "repro_run_manifest",
@@ -226,6 +227,10 @@ def build_manifest(
             # construction — worker timings vary run to run.
             "worker_telemetry": relay.summary() if relay is not None else None,
             "histograms": _histogram_summaries(metrics) if metrics is not None else {},
+            # Heavy-hitter workload attribution (blocks / pairs /
+            # channels + blocking skew). Wall-time attributions vary
+            # run to run, so the whole summary is execution-only.
+            "hotspots": hotspots.summary() if hotspots is not None else None,
             "generated_at": round(time.time(), 3),
         },
         "artifacts": dict(artifacts or {}),

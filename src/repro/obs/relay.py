@@ -44,6 +44,8 @@ counters are byte-identical with the relay on or off.
 
 from __future__ import annotations
 
+from collections import deque
+
 __all__ = ["WorkerTelemetry", "TelemetryRelay", "WORKER_METRIC_HELP"]
 
 #: help texts for the metrics the relay folds into the registry.
@@ -148,10 +150,26 @@ class WorkerTelemetry:
         return payload
 
 
+#: bounds on the crash-bundle lane retention: how many lanes keep a
+#: ring (least-recently-shipping evicted first) and how many payload
+#: digests each ring holds.
+_MAX_LANE_RINGS = 32
+_LANE_RING_DEPTH = 8
+
+
 class TelemetryRelay:
     """Parent-side merge of worker payloads into the live sinks."""
 
-    __slots__ = ("_tracer", "_metrics", "_log", "payloads", "lane_names", "counters", "lane_deaths")
+    __slots__ = (
+        "_tracer",
+        "_metrics",
+        "_log",
+        "payloads",
+        "lane_names",
+        "counters",
+        "lane_deaths",
+        "lane_rings",
+    )
 
     def __init__(self, telemetry) -> None:
         self._tracer = telemetry.tracer
@@ -161,6 +179,9 @@ class TelemetryRelay:
         self.lane_names: dict[int, str] = {}
         self.counters: dict[str, float] = {}
         self.lane_deaths: list[dict] = []
+        #: pid -> deque of compact per-payload digests, for crash
+        #: bundles: the last few things each worker lane shipped.
+        self.lane_rings: dict[int, object] = {}
 
     @classmethod
     def for_telemetry(cls, telemetry) -> "TelemetryRelay | None":
@@ -184,6 +205,7 @@ class TelemetryRelay:
         tid = payload["tid"]
         if pid not in self.lane_names:
             self.lane_names[pid] = payload["process_name"]
+        self._retain(pid, payload)
         for name, amount in payload["counters"].items():
             self.counters[name] = self.counters.get(name, 0) + amount
         tracer = self._tracer
@@ -213,6 +235,45 @@ class TelemetryRelay:
         if log is not None:
             for level, event, fields in payload["events"]:
                 log.emit(level, event, pid=pid, **fields)
+
+    def _retain(self, pid: int, payload: dict) -> None:
+        """Keep a compact digest of this payload in the pid's lane ring.
+
+        Rings exist for crash bundles only: when a run dies, the bundle
+        ships the last few things every (recently active) worker lane
+        reported. Lanes are evicted least-recently-shipping first so a
+        speculative run forking hundreds of children stays bounded.
+        """
+        ring = self.lane_rings.pop(pid, None)
+        if ring is None:
+            ring = deque(maxlen=_LANE_RING_DEPTH)
+            while len(self.lane_rings) >= _MAX_LANE_RINGS:
+                self.lane_rings.pop(next(iter(self.lane_rings)))
+        # pop + reinsert keeps insertion order == recency order.
+        self.lane_rings[pid] = ring
+        ring.append(
+            {
+                "spans": [name for name, *_ in payload["spans"]][-6:],
+                "events": [
+                    [level, event] for level, event, _ in payload["events"]
+                ][-6:],
+                "counters": {
+                    name: round(value, 6)
+                    for name, value in sorted(payload["counters"].items())
+                },
+            }
+        )
+
+    def recent_lanes(self) -> dict:
+        """JSON-able lane rings for a crash bundle: pid (as string) to
+        process name plus its retained payload digests."""
+        return {
+            str(pid): {
+                "process_name": self.lane_names.get(pid, "worker"),
+                "recent": list(ring),
+            }
+            for pid, ring in sorted(self.lane_rings.items())
+        }
 
     def lane_died(self, pid: int | None, reason: str, *, lane: str = "scoring worker") -> None:
         """Attribute a supervision intervention to the lane that died.

@@ -397,7 +397,12 @@ def _lanes_section(trace: dict | None) -> str:
 
 def _profile_section(folded: dict | None, top_n: int = 12) -> str:
     if not folded:
-        return ""
+        return (
+            "<h2>Profiler hot frames</h2>"
+            '<div class="card"><p class="note">No profile recorded for this '
+            "run — hot-frame table unavailable. Re-run with "
+            "<code>--profile</code> to sample wall-clock stacks.</p></div>"
+        )
     frames = top_frames_from_folded(folded, top_n)
     total_samples = sum(folded.values()) or 1
     rows = "".join(
@@ -420,6 +425,101 @@ def _profile_section(folded: dict | None, top_n: int = 12) -> str:
         "samples with it anywhere on the stack. Load "
         "<code>profile.speedscope.json</code> in speedscope for the full "
         "flamegraph.</p></div>"
+    )
+
+
+def _hotspots_section(hotspots: dict | None) -> str:
+    if not hotspots:
+        return (
+            '<div class="card"><p class="note">No hotspot attribution in this '
+            "manifest (recorded by runs from this version onward); nothing to "
+            "rank.</p></div>"
+        )
+    parts = ['<div class="card">']
+    skew = hotspots.get("skew") or {}
+    if skew:
+        skew_rows = "".join(
+            f"<tr><td>{_esc(class_name)}</td>"
+            f"<td class='num'>{entry['blocks']:,}</td>"
+            f"<td class='num'>{entry['gini']:.4f}</td>"
+            f"<td>{_esc(entry['max_block'])}</td>"
+            f"<td class='num'>{entry['max_block_size']:,}</td>"
+            f"<td class='num'>{entry['max_pair_share']:.1%}</td>"
+            f"<td class='num'>{entry['oversized']:,}</td></tr>"
+            for class_name, entry in sorted(skew.items())
+        )
+        parts.append(
+            "<table><tr><th>class</th><th class='num'>blocks</th>"
+            "<th class='num'>Gini</th><th>largest block</th>"
+            "<th class='num'>refs</th><th class='num'>pair share</th>"
+            "<th class='num'>oversized</th></tr>"
+            + skew_rows
+            + '</table><p class="note">Blocking skew per class: Gini over '
+            "block sizes and the largest block's share of all candidate "
+            "pairs.</p>"
+        )
+    block_rows = "".join(
+        f"<tr><td><code>{_esc(entry['block'])}</code></td>"
+        f"<td class='num'>{entry['candidate_pairs']:,.0f}</td>"
+        f"<td class='num'>{entry['max_error']:,.0f}</td></tr>"
+        for entry in hotspots.get("top_blocks") or []
+    )
+    if block_rows:
+        parts.append(
+            "<table><tr><th>block</th><th class='num'>candidate pairs</th>"
+            "<th class='num'>max error</th></tr>" + block_rows + "</table>"
+        )
+    pair_rows = "".join(
+        f"<tr><td>{_esc(entry['pair'])}</td>"
+        f"<td class='num'>{entry['seconds']:.4f}</td>"
+        f"<td class='num'>{entry['recomputations']:,}</td></tr>"
+        for entry in hotspots.get("top_pairs") or []
+    )
+    if pair_rows:
+        parts.append(
+            "<table><tr><th>pair</th><th class='num'>seconds</th>"
+            "<th class='num'>recomputations</th></tr>"
+            + pair_rows
+            + '</table><p class="note">Heaviest reference pairs by attributed '
+            "recompute wall time (Space-Saving sketch; counts are upper "
+            "bounds within the stated error).</p>"
+        )
+    if len(parts) == 1:
+        parts.append(
+            '<p class="note">The sketch recorded no blocks or pairs '
+            "(empty run).</p>"
+        )
+    parts.append("</div>")
+    return "".join(parts)
+
+
+def _poison_section(poisoned: list[dict] | None) -> str:
+    if poisoned is None:
+        return (
+            '<div class="card"><p class="note">No poisoned-pair log recorded '
+            "for this run — quarantine table unavailable. Parallel builds "
+            "(<code>--workers N</code> with <code>--run-dir</code>) record "
+            "one automatically.</p></div>"
+        )
+    if not poisoned:
+        return (
+            '<div class="card"><p class="note">Poisoned-pair log recorded and '
+            "empty: no pair crashed its worker.</p></div>"
+        )
+    rows = "".join(
+        f"<tr><td>{_esc(entry['pair'][0])} &harr; {_esc(entry['pair'][1])}</td>"
+        f"<td>{_esc(entry.get('class', '?'))}</td>"
+        f"<td>{_esc(entry.get('reason', '?'))}</td></tr>"
+        for entry in poisoned[:20]
+    )
+    more = len(poisoned) - 20
+    more_note = f" Showing 20 of {len(poisoned)}." if more > 0 else ""
+    return (
+        '<div class="card"><table>'
+        "<tr><th>pair</th><th>class</th><th>reason</th></tr>"
+        + rows
+        + f'</table><p class="note">Pairs quarantined after repeatedly '
+        f"killing build workers.{_esc(more_note)}</p></div>"
     )
 
 
@@ -523,12 +623,21 @@ def _tiles(manifest: dict) -> str:
     ) + "</div>"
 
 
-def render_report(manifest: dict, decisions=None, *, trace=None, profile_folded=None) -> str:
+def render_report(
+    manifest: dict,
+    decisions=None,
+    *,
+    trace=None,
+    profile_folded=None,
+    poisoned=None,
+) -> str:
     """The full HTML document for one run manifest.
 
-    *trace* is a parsed Chrome trace object (for the worker-lane strip)
-    and *profile_folded* a parsed folded-stack mapping (for the hot-frame
-    table); both are optional and their sections degrade gracefully.
+    *trace* is a parsed Chrome trace object (for the worker-lane strip),
+    *profile_folded* a parsed folded-stack mapping (for the hot-frame
+    table), and *poisoned* the parsed poisoned-pair log entries. All are
+    optional; every section renders an explicit "not recorded"
+    placeholder when its artifact is absent rather than vanishing.
     """
     run = manifest["run"]
     status = "completed" if run["completed"] else f"degraded ({run.get('stop_reason')})"
@@ -572,8 +681,12 @@ def render_report(manifest: dict, decisions=None, *, trace=None, profile_folded=
 <h2>Worker lanes</h2>
 {_lanes_section(trace)}
 {_profile_section(profile_folded)}
+<h2>Workload hotspots</h2>
+{_hotspots_section(manifest['execution'].get('hotspots'))}
 <h2>Most-contested merge decisions</h2>
 {_contested_table(decisions)}
+<h2>Poisoned pairs</h2>
+{_poison_section(poisoned)}
 {degradation_html}
 <p class="note">Generated from <code>run.json</code> (manifest v{manifest['manifest_version']}).
 Config fingerprint and full counters: <code>{_esc(json.dumps(manifest['counters'], sort_keys=True))}</code></p>
@@ -601,9 +714,28 @@ def write_report(run_dir: str | Path, output: str | Path | None = None) -> Path:
     profile_path = resolve_artifact(manifest, run_dir, "profile")
     if profile_path is not None and profile_path.exists():
         profile_folded = parse_folded(profile_path.read_text())
+    poisoned = None
+    poison_path = resolve_artifact(manifest, run_dir, "poison_log")
+    if poison_path is None:
+        # Older manifests predate the artifact kind; probe the
+        # conventional filename the build supervisor writes.
+        candidate = run_dir / "poisoned_pairs.jsonl" if run_dir.is_dir() else None
+        poison_path = candidate
+    if poison_path is not None and poison_path.exists():
+        poisoned = [
+            json.loads(line)
+            for line in poison_path.read_text().splitlines()
+            if line.strip()
+        ]
     output = Path(output) if output is not None else run_dir / "report.html"
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(
-        render_report(manifest, decisions, trace=trace, profile_folded=profile_folded)
+        render_report(
+            manifest,
+            decisions,
+            trace=trace,
+            profile_folded=profile_folded,
+            poisoned=poisoned,
+        )
     )
     return output

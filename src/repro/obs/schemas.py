@@ -32,6 +32,8 @@ __all__ = [
     "METRIC_SCHEMA",
     "DECISION_SCHEMA",
     "MANIFEST_SCHEMA",
+    "CRASH_BUNDLE_SCHEMA",
+    "validate_crash_bundle",
     "validate_event",
     "validate_event_log",
     "validate_chrome_trace",
@@ -112,6 +114,36 @@ MANIFEST_SCHEMA = {
         "degradations": {"type": "array"},
         "execution": {"required": ["resumed", "build_seconds", "iterate_seconds"]},
         "artifacts": {"type": "object"},  # kind -> path
+    },
+}
+
+#: Crash bundle (``crash_bundle.json``) dumped by the flight recorder
+#: when a run dies or degrades. ``rings`` holds the recorder's four
+#: ring buffers, ``stacks`` per-thread formatted stacks, and
+#: ``worker_lanes`` the relay's retained lane rings + lane deaths.
+CRASH_BUNDLE_SCHEMA = {
+    "type": "object",
+    "required": [
+        "bundle_version", "kind", "reason", "phase", "stop_reason",
+        "exception", "config", "stats", "rings", "stacks", "worker_lanes",
+    ],
+    "properties": {
+        "bundle_version": {"const": 1},
+        "kind": {"const": "repro_crash_bundle"},
+        "reason": {"type": "string"},
+        "phase": {"type": ["string", "null"]},
+        "stop_reason": {"type": ["string", "null"]},
+        "exception": {
+            "type": ["object", "null"],
+            "required": ["type", "message", "traceback"],
+        },
+        "config": {"type": "object"},
+        "stats": {"type": "object"},  # partial EngineStats (asdict)
+        "rings": {
+            "required": ["ring_size", "events", "decisions", "chunks", "degradations"]
+        },
+        "stacks": {"type": "object"},  # "tid (name)" -> [frame lines]
+        "worker_lanes": {"required": ["lanes", "deaths"]},
     },
 }
 
@@ -412,6 +444,73 @@ def validate_manifest(obj: dict) -> None:
             isinstance(count, int) and count >= 0,
             f"counter {name!r} must be a non-negative integer: {count!r}",
         )
+
+
+def validate_crash_bundle(obj: dict) -> None:
+    """A crash bundle against :data:`CRASH_BUNDLE_SCHEMA`."""
+    _require(isinstance(obj, dict), "crash bundle must be a JSON object")
+    for key in CRASH_BUNDLE_SCHEMA["required"]:
+        _require(key in obj, f"crash bundle missing required field {key!r}")
+    _require(
+        obj["bundle_version"] == 1,
+        f"unsupported bundle_version {obj['bundle_version']!r}",
+    )
+    _require(
+        obj["kind"] == "repro_crash_bundle",
+        f"crash bundle kind must be 'repro_crash_bundle': {obj['kind']!r}",
+    )
+    _require(
+        isinstance(obj["reason"], str) and obj["reason"],
+        f"crash bundle reason must be a non-empty string: {obj['reason']!r}",
+    )
+    for key in ("phase", "stop_reason"):
+        _require(
+            obj[key] is None or isinstance(obj[key], str),
+            f"crash bundle {key} must be a string or null: {obj[key]!r}",
+        )
+    exception = obj["exception"]
+    if exception is not None:
+        _require(isinstance(exception, dict), "crash bundle exception must be an object")
+        for key in ("type", "message", "traceback"):
+            _require(key in exception, f"crash bundle exception missing {key!r}")
+        _require(
+            isinstance(exception["traceback"], list),
+            "crash bundle exception traceback must be a list of lines",
+        )
+    for key in ("config", "stats"):
+        _require(isinstance(obj[key], dict), f"crash bundle {key} must be an object")
+    rings = obj["rings"]
+    _require(isinstance(rings, dict), "crash bundle rings must be an object")
+    for ring in ("events", "decisions", "chunks", "degradations"):
+        _require(ring in rings, f"crash bundle rings missing {ring!r}")
+        _require(
+            isinstance(rings[ring], list),
+            f"crash bundle ring {ring!r} must be a list",
+        )
+    _require(
+        isinstance(rings.get("ring_size"), int),
+        "crash bundle rings.ring_size must be an integer",
+    )
+    stacks = obj["stacks"]
+    _require(isinstance(stacks, dict), "crash bundle stacks must be an object")
+    for thread, lines in stacks.items():
+        _require(
+            isinstance(lines, list)
+            and all(isinstance(line, str) for line in lines),
+            f"crash bundle stack for {thread!r} must be a list of strings",
+        )
+    lanes = obj["worker_lanes"]
+    _require(isinstance(lanes, dict), "crash bundle worker_lanes must be an object")
+    for key in ("lanes", "deaths"):
+        _require(key in lanes, f"crash bundle worker_lanes missing {key!r}")
+    _require(
+        isinstance(lanes["lanes"], dict),
+        "crash bundle worker_lanes.lanes must be an object",
+    )
+    _require(
+        isinstance(lanes["deaths"], list),
+        "crash bundle worker_lanes.deaths must be a list",
+    )
 
 
 def unescape_label_value(value: str) -> str:

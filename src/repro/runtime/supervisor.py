@@ -109,6 +109,7 @@ class SupervisedScorer:
         poison_path: str | Path | None = None,
         chaos=None,
         relay=None,
+        flight=None,
     ) -> None:
         spec = domain_spec(domain)
         if spec is None:
@@ -129,6 +130,9 @@ class SupervisedScorer:
         # Cross-process telemetry relay (obs.relay.TelemetryRelay) or
         # None; workers record spans/counters only when it is attached.
         self._relay = relay
+        # Engine flight recorder (obs.flight.FlightRecorder) or None;
+        # chunk timings and pool teardowns land in its rings.
+        self._flight = flight
         metrics = getattr(telemetry, "metrics", None)
         self._chunk_hist = (
             metrics.histogram(
@@ -222,6 +226,8 @@ class SupervisedScorer:
         pool, self._pool = self._pool, None
         if pool is None:
             return
+        if self._flight is not None and reason is not None:
+            self._flight.note_event("pool_kill", reason=reason)
         try:
             processes = list(getattr(pool, "_processes", {}).values())
         except Exception:  # pragma: no cover - interpreter internals moved
@@ -315,6 +321,10 @@ class SupervisedScorer:
             self._relay.absorb(telemetry_payload)
         if self._chunk_hist is not None:
             self._chunk_hist.observe(elapsed)
+        if self._flight is not None:
+            self._flight.note_chunk(
+                "build pool", elapsed, pairs=len(chunk_result)
+            )
         return chunk_result
 
     def _optimistic(self, chunks: list, results: list) -> list[int]:
@@ -490,8 +500,11 @@ class SupervisedScorer:
                     class_name, (left, right), f"{type(exc).__name__}: {exc}"
                 )
                 out.append([])
+        elapsed = time.perf_counter() - started
         if self._chunk_hist is not None:
-            self._chunk_hist.observe(time.perf_counter() - started)
+            self._chunk_hist.observe(elapsed)
+        if self._flight is not None:
+            self._flight.note_chunk("build serial", elapsed, pairs=len(out))
         return out
 
     # -- poisoning ------------------------------------------------------
@@ -567,6 +580,7 @@ class IterateSupervisor:
         on_degrade=None,
         chaos=None,
         relay=None,
+        flight=None,
     ) -> None:
         if workers < 2:
             raise ValueError("IterateSupervisor needs at least 2 workers")
@@ -582,6 +596,7 @@ class IterateSupervisor:
         self.on_degrade = on_degrade
         self.chaos = chaos
         self._relay = relay
+        self._flight = flight
         metrics = getattr(telemetry, "metrics", None)
         self._chunk_hist = (
             metrics.histogram(
@@ -754,32 +769,39 @@ class IterateSupervisor:
             os.close(handle.fd)
             self._reap(handle.pid)
         if failure is not None:
-            if self._relay is not None:
-                self._relay.lane_died(handle.pid, failure[1], lane="iterate child")
+            self._note_lane_death(handle.pid, failure[1])
             return failure
         try:
             message = pickle.loads(b"".join(parts))
         except Exception:
-            if self._relay is not None:
-                self._relay.lane_died(
-                    handle.pid, "died mid-chunk", lane="iterate child"
-                )
+            self._note_lane_death(handle.pid, "died mid-chunk")
             return ("crash", "iterate child died mid-chunk")
         if not (isinstance(message, tuple) and len(message) == 2):
             payloads, telemetry_payload = None, None
         else:
             payloads, telemetry_payload = message
         if not isinstance(payloads, list) or len(payloads) != len(handle.keys):
-            if self._relay is not None:
-                self._relay.lane_died(
-                    handle.pid, "malformed chunk", lane="iterate child"
-                )
+            self._note_lane_death(handle.pid, "malformed chunk")
             return ("crash", "iterate child returned a malformed chunk")
         if telemetry_payload is not None and self._relay is not None:
             self._relay.absorb(telemetry_payload)
+        elapsed = time.perf_counter() - handle.forked_at
         if self._chunk_hist is not None:
-            self._chunk_hist.observe(time.perf_counter() - handle.forked_at)
+            self._chunk_hist.observe(elapsed)
+        if self._flight is not None:
+            self._flight.note_chunk(
+                "iterate fork", elapsed, keys=len(handle.keys)
+            )
         return ("ok", payloads)
+
+    def _note_lane_death(self, pid: int, reason: str) -> None:
+        """One iterate child gave up: tell the relay and the recorder."""
+        if self._relay is not None:
+            self._relay.lane_died(pid, reason, lane="iterate child")
+        if self._flight is not None:
+            self._flight.note_event(
+                "lane_died", pid=pid, reason=reason, lane="iterate child"
+            )
 
     def _note_timeout(self, handle) -> None:
         self.counters["task_timeout"] += 1
