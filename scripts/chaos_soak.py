@@ -3,9 +3,11 @@
 
 Runs dataset B under randomized-but-seeded fault schedules — worker
 kills (once / persistent), worker hangs, injected comparator faults
-for real candidate pairs, and speculative-iterate faults (children
-SIGKILLed or raising mid-chunk) — and asserts the robustness contract
-of the supervised execution layer for every schedule:
+for real candidate pairs, speculative-iterate faults (children
+SIGKILLed or raising mid-chunk), and sharded-runner faults (a shard's
+engine process SIGKILLed or raising; the runner's ladder re-runs it
+in-parent) — and asserts the robustness contract of the supervised
+execution layer for every schedule:
 
 * the run never raises and never leaks a worker process;
 * a run that completes with **no** poisoned pairs produces partitions
@@ -54,6 +56,8 @@ FAULT_KINDS = (
     "raise_pair",
     "iterate_kill",
     "iterate_raise",
+    "shard_kill",
+    "shard_raise",
 )
 
 #: Schedules exercising the speculative iterate executor instead of the
@@ -61,6 +65,13 @@ FAULT_KINDS = (
 #: faults can only drop speculation chunks — the contract is always
 #: partition identity, never an oracle match.
 ITERATE_KINDS = ("iterate_kill", "iterate_raise")
+
+#: Schedules exercising the sharded runner (``--shards 2`` with worker
+#: processes): shard 0's engine process is SIGKILLed or raises before
+#: it runs. The runner's ladder re-runs the shard in-process in the
+#: parent (a ``shard_fallback`` degradation) and the merged result must
+#: stay byte-identical to the serial baseline.
+SHARD_KINDS = ("shard_kill", "shard_raise")
 
 DATASET = "B"
 DATASET_SEED = 0
@@ -116,6 +127,12 @@ def _chaos_for(kind: str, rng: Random, marker_dir: str, pair_pool):
         # A deterministic comparator bug in ~1/4 of iterate chunks:
         # those chunks are dropped and their keys recomputed in-line.
         return ChaosInjector(raise_pair_crc_mod=4, raise_pair_crc_rem=rng.randrange(4))
+    if kind == "shard_kill":
+        # Marker-claimed: only the first (child-process) attempt dies;
+        # the in-parent fallback rung is untouched by construction.
+        return ChaosInjector(shard_kill=0, marker_dir=marker_dir)
+    if kind == "shard_raise":
+        return ChaosInjector(shard_raise=0, marker_dir=marker_dir)
     raise SystemExit(f"unknown fault kind {kind!r}")
 
 
@@ -130,11 +147,61 @@ def _wait_for_children(deadline: float = 10.0) -> list:
     return multiprocessing.active_children()
 
 
+def _run_shard_schedule(row: dict, kind: str, args, baseline_text, markers):
+    """Sharded-runner schedule: kill/raise shard 0, demand identity.
+
+    The contract is strict: the run never raises (the ladder absorbs
+    the dead or raising shard process), leaks no worker, records the
+    fallback as a ``shard_fallback`` degradation, and the merged
+    partition is byte-identical to the clean serial baseline.
+    """
+    from repro.shard import merged_result, run_sharded
+
+    chaos = _chaos_for(kind, None, str(markers), None)
+    try:
+        sharded = run_sharded(
+            _store(args.scale),
+            PimDomainModel(),
+            EngineConfig(),
+            shards=2,
+            shard_workers=2,
+            chaos=chaos,
+        )
+        result = merged_result(sharded)
+    except Exception as exc:  # the contract: this must never happen
+        row["error"] = f"unhandled {type(exc).__name__}: {exc}"
+        return row
+    finally:
+        leaked = _wait_for_children()
+        row["leaked_workers"] = [child.pid for child in leaked]
+
+    row.update(
+        completed=result.completed,
+        stop_reason=result.stop_reason,
+        fixpoint_rounds=sharded.fixpoint.rounds,
+        degradations=sorted({e.kind for e in result.stats.degradations}),
+    )
+    if row["leaked_workers"]:
+        row["error"] = f"leaked workers: {row['leaked_workers']}"
+        return row
+    if not result.completed:
+        row["error"] = f"sharded run did not complete: {result.stop_reason}"
+        return row
+    if _partition_text(result) != baseline_text:
+        row["error"] = "sharded partitions differ from clean serial baseline"
+        return row
+    row["outcome"] = "identical"
+    row["ok"] = True
+    return row
+
+
 def _run_schedule(index: int, kind: str, rng: Random, args, baseline_text, pair_pool):
     row = {"schedule": index, "kind": kind, "ok": False}
     with tempfile.TemporaryDirectory() as tmp:
         markers = Path(tmp) / "markers"
         markers.mkdir()
+        if kind in SHARD_KINDS:
+            return _run_shard_schedule(row, kind, args, baseline_text, markers)
         poison_log = Path(tmp) / "poisoned_pairs.jsonl"
         chaos = _chaos_for(kind, rng, str(markers), pair_pool)
         if kind in ITERATE_KINDS:
@@ -248,6 +315,8 @@ def _expected_counters_fired(row: dict) -> str | None:
         return "persistent iterate kills did not descend the ladder to serial"
     if kind in ITERATE_KINDS and counters.get("pairs_poisoned"):
         return "iterate fault schedule must never poison a pair"
+    if kind in SHARD_KINDS and "shard_fallback" not in row.get("degradations", []):
+        return "shard fault schedule recorded no shard_fallback degradation"
     if kind == "none" and any(counters.values()):
         return f"clean schedule recorded supervision activity: {counters}"
     return None

@@ -288,6 +288,79 @@ def _speculative_block() -> dict:
     return {"workers": SPECULATIVE_WORKERS, "entries": entries}
 
 
+SHARDING_TARGETS = (("B", 1.0), ("B", 2.0), ("cora", 1.0))
+SHARDING_SHARDS = 2
+
+
+def _sharding_block() -> dict:
+    """Serial vs sharded (``--shards 2 --shard-workers 2``) rows.
+
+    Each entry asserts partition identity and records the shard plan's
+    shape — components, cut-pair count/fraction, packing Gini — the
+    cross-shard fixpoint's rounds, and per-shard wall-clock + peak RSS
+    (measured in the shard's own worker process, so the RSS column is
+    the real per-shard memory footprint, the number that decides
+    whether a dataset fits a smaller machine when sharded).
+    """
+    from repro.shard import merged_result, run_sharded
+
+    entries = []
+    for name, scale in SHARDING_TARGETS:
+        clear_similarity_caches()
+        dataset = _generate(name, scale)
+        domain = _domain(name)
+        serial = Reconciler(dataset.store, domain, EngineConfig()).run()
+        clear_similarity_caches()
+        sharded = run_sharded(
+            dataset.store,
+            domain,
+            EngineConfig(),
+            shards=SHARDING_SHARDS,
+            shard_workers=SHARDING_SHARDS,
+        )
+        result = merged_result(sharded)
+        plan = sharded.plan
+        identical = result.partitions == serial.partitions
+        entries.append(
+            {
+                "dataset": name,
+                "scale": scale,
+                "shards": plan.shards,
+                "identical_partitions": identical,
+                "components": plan.component_count,
+                "candidate_pairs": plan.candidate_pairs,
+                "cut_pairs": len(plan.cut_pairs),
+                "cut_fraction": round(plan.cut_fraction, 6),
+                "gini": round(plan.gini, 4),
+                "fixpoint_rounds": sharded.fixpoint.rounds,
+                "fixpoint_messages": sharded.fixpoint.messages,
+                "per_shard": [
+                    {
+                        "shard": outcome.shard,
+                        "references": outcome.references,
+                        "seconds": outcome.seconds,
+                        "peak_rss_kb": outcome.peak_rss_kb,
+                        "in_process": outcome.ran_in_process,
+                    }
+                    for outcome in sharded.outcomes
+                ],
+            }
+        )
+        rss = "/".join(str(o.peak_rss_kb) for o in sharded.outcomes)
+        print(
+            f"  {name:>4s}@{scale}: components={plan.component_count} "
+            f"cut={len(plan.cut_pairs)} ({plan.cut_fraction:.4f}) "
+            f"rounds={sharded.fixpoint.rounds} rss_kb={rss} "
+            f"{'identical' if identical else 'DIVERGED'}",
+            file=sys.stderr,
+        )
+    return {
+        "shards": SHARDING_SHARDS,
+        "shard_workers": SHARDING_SHARDS,
+        "entries": entries,
+    }
+
+
 def _iterate_check(scale: float, iterate_workers: int) -> bool:
     """Partition identity, serial vs speculative iterate, dataset B."""
     serial_result, _ = _measure(REGRESSION_DATASET, scale)
@@ -393,6 +466,8 @@ def main(argv: list[str] | None = None) -> int:
         payload["full"] = _block(FULL_SCALE, runs_root / "full", base_dir)
         print("speculative iterate block:", file=sys.stderr)
         payload["speculative_iterate"] = _speculative_block()
+        print("sharding block:", file=sys.stderr)
+        payload["sharding"] = _sharding_block()
 
     failures = []
     if args.workers_check:

@@ -712,8 +712,32 @@ class Reconciler:
             if linked is not None:
                 self.graph.add_edge(linked, node, EdgeType.REAL)
 
+    def _element_in_store(self, element: str) -> bool:
+        """Whether every reference behind *element* is in this store.
+
+        Always true for a whole-dataset run; false only for a sharded
+        sub-store whose split plan left an association target in
+        another shard — such elements carry no local evidence and no
+        node may be forced for them (the cross-shard fixpoint supplies
+        the global view instead)."""
+        if self.config.enrich:
+            members = self._members.get(element)
+            if members is None:
+                return element in self.store
+            return all(ref_id in self.store for ref_id in members)
+        return element in self.store
+
     def _wire_strong(self, node: PairNode, dependency) -> None:
         for key, linked in self._linked_element_pairs(node, dependency.attr):
+            if (
+                linked is None
+                and dependency.ensure_target_nodes
+                and not (
+                    self._element_in_store(key[0])
+                    and self._element_in_store(key[1])
+                )
+            ):
+                continue
             if linked is None and dependency.ensure_target_nodes:
                 linked = self._make_pair_node(
                     dependency.target_class,

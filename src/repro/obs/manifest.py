@@ -158,6 +158,7 @@ def build_manifest(
     algorithm: str = "depgraph",
     artifacts: dict | None = None,
     resumed: bool = False,
+    shards: dict | None = None,
 ) -> dict:
     """Assemble the manifest for one finished run.
 
@@ -167,6 +168,12 @@ def build_manifest(
     artifact kind (``provenance`` / ``events`` / ``trace`` /
     ``metrics`` / ``partition``) to a path, preferably relative to the
     run directory.
+
+    *shards* (sharded runs only) is the shard runner's summary — plan
+    balance, per-shard engines, cross-shard fixpoint rounds. It lands
+    in the ``execution`` section: how the work was split is execution
+    shape, never outcome (a sharded run's invariant core must equal
+    the serial run's).
     """
     from ..runtime.checkpoint import config_fingerprint
 
@@ -231,6 +238,9 @@ def build_manifest(
             # channels + blocking skew). Wall-time attributions vary
             # run to run, so the whole summary is execution-only.
             "hotspots": hotspots.summary() if hotspots is not None else None,
+            # Sharded execution summary (None for whole-graph runs):
+            # component plan, per-shard engine rows, fixpoint rounds.
+            "shards": shards,
             "generated_at": round(time.time(), 3),
         },
         "artifacts": dict(artifacts or {}),

@@ -22,7 +22,7 @@ provenance cannot perturb resume determinism.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
 from ..core.nodes import PairKey, pair_key
@@ -91,7 +91,10 @@ class DecisionRecord:
 
     @classmethod
     def from_dict(cls, data: dict) -> "DecisionRecord":
-        data = dict(data)
+        # Tolerate extra keys: sharded runs annotate each row with its
+        # shard/phase attribution, and future writers may add more.
+        known = {f.name for f in fields(cls)}
+        data = {key: value for key, value in data.items() if key in known}
         data["pair"] = tuple(data["pair"])
         if data.get("trigger_pair") is not None:
             data["trigger_pair"] = tuple(data["trigger_pair"])
@@ -171,6 +174,11 @@ class ProvenanceLog:
                 self.jsonl_path.parent.mkdir(parents=True, exist_ok=True)
                 self._handle = self.jsonl_path.open("a")
             self._handle.write(json.dumps(record.to_dict()) + "\n")
+            # Flushed per record: a crashed run's trail must be on disk
+            # at least up to its last checkpoint, or the resumed run's
+            # audit log would silently miss decisions the restored
+            # engine state already contains.
+            self._handle.flush()
         return record
 
     def close(self) -> None:

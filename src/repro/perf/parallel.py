@@ -32,7 +32,13 @@ from concurrent.futures import ProcessPoolExecutor
 
 from .scoring import pair_evidence
 
-__all__ = ["ParallelScorer", "domain_spec", "iterate_chunk", "make_chunks"]
+__all__ = [
+    "ParallelScorer",
+    "domain_spec",
+    "iterate_chunk",
+    "make_chunks",
+    "rebuild_domain",
+]
 
 
 def domain_spec(domain) -> str | None:
@@ -85,10 +91,18 @@ def make_chunks(
 _WORKER: dict = {}
 
 
-def _init_worker(spec: str, chaos=None, relay: bool = False) -> None:
+def rebuild_domain(spec: str):
+    """Instantiate a fresh domain from a :func:`domain_spec` string.
+
+    The inverse of :func:`domain_spec`; shared by the scoring workers
+    and the shard runner's per-shard engine processes."""
     module_name, _, qualname = spec.partition(":")
     cls = getattr(importlib.import_module(module_name), qualname)
-    _WORKER["domain"] = cls()
+    return cls()
+
+
+def _init_worker(spec: str, chaos=None, relay: bool = False) -> None:
+    _WORKER["domain"] = rebuild_domain(spec)
     _WORKER["channels"] = {}
     _WORKER["memo"] = {}
     # Fault-injection seam (tests / chaos soak only): an object with a

@@ -119,6 +119,12 @@ class ChaosInjector:
     raise_pair_crc_mod: int | None = None
     raise_pair_crc_rem: int = 0
     marker_dir: str | None = None
+    #: shard-runner faults: SIGKILL the engine process of shard N
+    #: (child processes only), or raise :class:`InjectedFault` before
+    #: shard N runs (any process). Both marker-claimed, so they fire at
+    #: most once and the supervisor ladder's retry goes through.
+    shard_kill: int | None = None
+    shard_raise: int | None = None
 
     def _claim(self, name: str) -> bool:
         if self.marker_dir is None:
@@ -142,6 +148,27 @@ class ChaosInjector:
             digest = zlib.crc32(f"{key[0]}|{key[1]}".encode())
             return digest % self.raise_pair_crc_mod == self.raise_pair_crc_rem
         return False
+
+    def before_shard(self, shard_index: int, *, in_child: bool) -> None:
+        """Shard-runner seam, consulted before a shard engine runs.
+
+        ``shard_kill`` fires only inside a shard child process (the
+        in-parent serial rung must always survive); ``shard_raise``
+        fires wherever the shard is about to run — the runner's retry
+        ladder is what recovers."""
+        if (
+            self.shard_kill is not None
+            and shard_index == self.shard_kill
+            and in_child
+            and self._claim(f"shard_kill_{shard_index}")
+        ):
+            os.kill(os.getpid(), signal.SIGKILL)
+        if (
+            self.shard_raise is not None
+            and shard_index == self.shard_raise
+            and self._claim(f"shard_raise_{shard_index}")
+        ):
+            raise InjectedFault(f"injected shard fault for shard {shard_index}")
 
     def before_chunk(self, class_name: str, pairs, chunk_index: int) -> None:
         # Iterate children are raw os.fork() processes, invisible to

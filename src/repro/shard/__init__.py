@@ -1,0 +1,38 @@
+"""Sharded reconciliation: partition, run per-shard engines, reconcile
+the cut to fixpoint, merge back a serial-equivalent run.
+
+See :mod:`repro.shard.plan` for the closure-atomic component argument
+that makes the merged result byte-identical to serial, and DESIGN.md's
+"Sharded execution" section for the full walkthrough.
+"""
+
+from .fixpoint import FixpointOutcome, cross_shard_fixpoint
+from .merge import (
+    MergedRun,
+    build_sharded_manifest,
+    canonical_provenance,
+    merge_partitions,
+    merge_provenance,
+    merge_stats,
+    merged_result,
+)
+from .plan import ShardPlan, plan_shards
+from .runner import ShardOutcome, ShardedRun, run_sharded, shard_checkpoint_dir
+
+__all__ = [
+    "ShardPlan",
+    "plan_shards",
+    "ShardOutcome",
+    "ShardedRun",
+    "run_sharded",
+    "shard_checkpoint_dir",
+    "FixpointOutcome",
+    "cross_shard_fixpoint",
+    "merge_partitions",
+    "merge_stats",
+    "merge_provenance",
+    "canonical_provenance",
+    "merged_result",
+    "MergedRun",
+    "build_sharded_manifest",
+]

@@ -1,0 +1,125 @@
+"""Cross-shard reconciliation: the cut repaired, iterated to fixpoint.
+
+After every shard engine has converged, decisions that needed evidence
+from two shards remain unmade: candidate pairs on the cut, and —
+subtler — pairs *inside* one shard whose strong/weak support would have
+come from a dependency target in another shard. This module repairs
+both the way §3 of the paper iterates the dependency graph: passes of a
+boundary engine, each committing cross-shard merges ("messages" in
+Rastogi et al.'s per-block scheme) that enrich both sides and
+re-activate dependent pairs, until a pass commits nothing new.
+
+Under the default component planner the plan is **component-closed by
+construction** (shards are unions of interaction-graph components), so
+the fixpoint converges in round 1 with zero messages and this module
+does no engine work at all — the path a production run takes.
+
+For a *split* plan (tests and diagnostics force components apart), the
+boundary engine runs over the whole store **from scratch**. Replaying
+shard-local unions into a fresh engine was tried and is unsound: a
+pre-merged cluster suppresses the pair node whose merge decision
+carried strong/weak boolean support downstream (the engine treats
+replayed unions like a-priori premerges), so dependent pairs
+under-merge. The DepGraph's evidence is a function of decision
+*history*, not just of the partition — the only sound global repair is
+to recompute the dependency graph with global evidence, which also
+makes the repaired result exactly the serial one. Shard-local work is
+not wasted: its partitions are the candidates the repair must confirm,
+and the message counter below records exactly how much cross-shard
+traffic a message-passing implementation would have needed. Split
+plans should keep a-priori distinct pairs co-shard — a blinded shard
+that merges an enemy pair leaves a state no global pass can unwind
+(merges are monotone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.engine import EngineStats, Reconciler
+from ..obs.provenance import ProvenanceLog
+from ..obs.telemetry import Telemetry
+
+__all__ = ["FixpointOutcome", "cross_shard_fixpoint"]
+
+
+@dataclass
+class FixpointOutcome:
+    """What the cross-shard reconciliation did.
+
+    ``rounds`` counts boundary passes *including* the terminating pass
+    that commits nothing (a component-closed plan converges in round 1
+    without any pass). ``messages`` counts unions joining references
+    assigned to different shards — the cross-shard traffic a
+    message-passing implementation would have exchanged. ``result`` is
+    the global fixpoint result when a boundary engine ran, ``None``
+    when the plan was component-closed and the per-shard results are
+    already final.
+    """
+
+    rounds: int
+    messages: int
+    boundary_pairs: int
+    result: object | None = None
+    stats: EngineStats | None = None
+    provenance: list[dict] = field(default_factory=list)
+
+    @property
+    def ran(self) -> bool:
+        return self.result is not None
+
+    def describe(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "boundary_pairs": self.boundary_pairs,
+            "boundary_engine": self.ran,
+        }
+
+
+def cross_shard_fixpoint(
+    store, domain, config, plan, outcomes
+) -> FixpointOutcome:
+    """Reconcile the cut between the finished shard runs of *plan*.
+
+    Fast path: a component-closed plan has no cross-shard edge of *any*
+    kind — the per-shard partitions are the global fixpoint already.
+    The gate is :attr:`ShardPlan.component_closed`, not an empty cut: a
+    split plan can show zero candidate pairs on the cut while
+    association or dependency links still cross shards, and those
+    links carry evidence that changes decisions.
+    """
+    if plan.component_closed:
+        return FixpointOutcome(rounds=1, messages=0, boundary_pairs=0)
+
+    telemetry = Telemetry(provenance=ProvenanceLog())
+    engine = Reconciler(store, domain, config, telemetry=telemetry)
+
+    messages = 0
+
+    def _count_cross(survivor: str, absorbed: str) -> None:
+        nonlocal messages
+        if plan.assignment.get(survivor) != plan.assignment.get(absorbed):
+            messages += 1
+
+    engine.uf.add_union_listener(_count_cross)
+
+    rounds = 0
+    result = None
+    while True:
+        merges_before = engine.stats.merges
+        result = engine.run()
+        rounds += 1
+        if engine.stats.merges == merges_before:
+            break
+
+    return FixpointOutcome(
+        rounds=rounds,
+        messages=messages,
+        boundary_pairs=len(plan.cut_pairs),
+        result=result,
+        stats=engine.stats,
+        provenance=[
+            record.to_dict() for record in telemetry.provenance.records
+        ],
+    )

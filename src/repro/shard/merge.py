@@ -1,0 +1,304 @@
+"""Merging per-shard outcomes back into one serial-equivalent run.
+
+Every artifact the repo's tooling consumes — the partition, the
+provenance log, the counter block of the manifest — has an exact merge
+rule that reproduces the serial run byte-for-byte when shards are
+closure-atomic:
+
+* **partitions** — every global cluster lives inside one shard, so the
+  merged partition is the per-class concatenation of shard clusters
+  re-sorted by first member: exactly the serial engine's ``_result()``
+  ordering.
+* **counters** — additive counters sum; ``value_nodes`` is the size of
+  the *union* of per-shard value-node registry keys (value nodes dedup
+  globally by ``(channel, left, right)``, so summing double-counts any
+  value pair seen by two shards) and ``graph_nodes`` is recomputed as
+  ``pair_nodes + value_nodes``.
+* **provenance** — decisions re-sequence in canonical order: sorted by
+  (pair, phase, shard-local seq). Each pair is decided by exactly one
+  shard, so per-pair decision order — the thing replay and `repro
+  explain` rely on — is preserved no matter how shards interleaved.
+
+When a hand-made split plan produced a non-empty cut, the cross-shard
+fixpoint's boundary engine already holds the global result; the merge
+then takes its partitions verbatim and appends its boundary decisions
+as a ``boundary`` provenance phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.engine import EngineStats
+from ..core.model import EngineConfig
+from ..core.partition import UnionFind
+from ..core.result import ReconciliationResult
+from ..obs.manifest import _COUNTER_FIELDS, build_manifest
+from ..obs.telemetry import NULL_TELEMETRY
+from .fixpoint import FixpointOutcome
+from .runner import ShardedRun
+
+__all__ = [
+    "merge_partitions",
+    "merge_stats",
+    "merge_provenance",
+    "canonical_provenance",
+    "merged_result",
+    "MergedRun",
+    "build_sharded_manifest",
+]
+
+#: stats fields that sum across shards beyond the manifest counters.
+_SUMMED_EXECUTION_FIELDS = (
+    "build_seconds",
+    "iterate_seconds",
+    "values_cache_hits",
+    "values_cache_misses",
+    "contacts_cache_hits",
+    "contacts_cache_misses",
+    "feature_cache_hits",
+    "feature_cache_misses",
+    "pair_memo_hits",
+    "pair_memo_misses",
+    "prefilter_skips",
+    "task_retries",
+    "task_timeouts",
+    "pool_rebuilds",
+    "pairs_poisoned",
+    "speculated_nodes",
+    "speculation_hits",
+    "speculation_invalidated",
+    "speculation_dropped",
+    "queue_compactions",
+)
+
+
+def merge_partitions(
+    outcomes, fixpoint: FixpointOutcome | None = None
+) -> dict[str, list[list[str]]]:
+    """The global partition, in the serial engine's exact ordering."""
+    if fixpoint is not None and fixpoint.ran:
+        return fixpoint.result.partitions
+    merged: dict[str, list[list[str]]] = {}
+    for outcome in sorted(outcomes, key=lambda item: item.shard):
+        for class_name, clusters in outcome.partitions.items():
+            merged.setdefault(class_name, []).extend(
+                list(cluster) for cluster in clusters
+            )
+    return {
+        class_name: sorted(clusters, key=lambda cluster: cluster[0])
+        for class_name, clusters in merged.items()
+    }
+
+
+def merge_stats(sharded: ShardedRun) -> EngineStats:
+    """One :class:`EngineStats` equivalent to the serial run's counters.
+
+    Component-closed plans (the default planner) sum shard counters —
+    each counter decomposes exactly over components. When a split
+    plan's boundary engine ran, *its* stats are the global run's
+    (shard counters would double-count pairs the repair re-decided);
+    the shard engines' degradation trails and wall-clock still join in.
+    """
+    outcomes = sharded.outcomes
+    if sharded.fixpoint.ran:
+        merged = replace(sharded.fixpoint.stats)
+        merged.degradations = (
+            [
+                event
+                for outcome in outcomes
+                for event in outcome.stats.degradations
+            ]
+            + list(merged.degradations)
+            + list(sharded.degradations)
+        )
+        return merged
+    merged = EngineStats()
+    for name in _COUNTER_FIELDS:
+        if name in ("value_nodes", "graph_nodes"):
+            continue
+        setattr(merged, name, sum(getattr(o.stats, name) for o in outcomes))
+    value_keys = set()
+    for outcome in outcomes:
+        value_keys.update(tuple(key) for key in outcome.value_node_keys)
+    merged.value_nodes = len(value_keys)
+    merged.graph_nodes = merged.pair_nodes + merged.value_nodes
+    for name in _SUMMED_EXECUTION_FIELDS:
+        setattr(merged, name, sum(getattr(o.stats, name) for o in outcomes))
+    merged.build_seconds = round(merged.build_seconds, 6)
+    merged.iterate_seconds = round(merged.iterate_seconds, 6)
+    merged.parallel_workers = max(
+        (o.stats.parallel_workers for o in outcomes), default=1
+    )
+    merged.iterate_workers = max(
+        (o.stats.iterate_workers for o in outcomes), default=1
+    )
+    per_class: dict[str, int] = {}
+    for outcome in outcomes:
+        for class_name, count in outcome.stats.per_class_nodes.items():
+            per_class[class_name] = per_class.get(class_name, 0) + count
+    merged.per_class_nodes = per_class
+    # Convergence samples are keyed by the *global* recomputation
+    # counter; per-shard counters don't compose into it, so a sharded
+    # run records none rather than fabricating unreproducible ones.
+    merged.convergence_samples = []
+    merged.degradations = [
+        event
+        for outcome in outcomes
+        for event in outcome.stats.degradations
+    ] + list(sharded.degradations)
+    return merged
+
+
+_PHASE_ORDER = {"shard": 0, "boundary": 1}
+
+
+def merge_provenance(sharded: ShardedRun) -> list[dict]:
+    """All decision records, re-sequenced in canonical order.
+
+    Records sort by (pair, phase, shard-local seq) and get fresh
+    ``seq`` values; each carries ``shard`` and ``phase`` so `repro
+    explain` can attribute a decision. For a component-closed plan the
+    records are the shard engines' (each pair decided by exactly one
+    shard). When a split plan's boundary engine ran, *its* decisions
+    are the run's authoritative trail — shard-phase records would
+    duplicate pairs the repair re-decided under different evidence, so
+    they are dropped, exactly as their partitions are superseded.
+    """
+    records: list[dict] = []
+    if sharded.fixpoint.ran:
+        for record in sharded.fixpoint.provenance:
+            row = dict(record)
+            row["shard"] = None
+            row["phase"] = "boundary"
+            records.append(row)
+    else:
+        for outcome in sharded.outcomes:
+            for record in outcome.provenance:
+                row = dict(record)
+                row["shard"] = outcome.shard
+                row["phase"] = "shard"
+                records.append(row)
+    records.sort(
+        key=lambda row: (
+            tuple(row["pair"]),
+            _PHASE_ORDER[row["phase"]],
+            row["seq"],
+        )
+    )
+    for seq, row in enumerate(records):
+        row["seq"] = seq
+    return records
+
+
+def canonical_provenance(records) -> list[tuple]:
+    """Execution-order-free view of a decision list, for equivalence
+    tests: the sorted multiset of (pair, decision, score, channels) —
+    ``seq``, timing and shard attribution dropped."""
+    canonical = []
+    for record in records:
+        row = record if isinstance(record, dict) else record.to_dict()
+        canonical.append(
+            (
+                tuple(row["pair"]),
+                row["class_name"],
+                row["decision"],
+                row["score"],
+                tuple(sorted((row.get("channels") or {}).items())),
+            )
+        )
+    return sorted(canonical)
+
+
+def merged_result(sharded: ShardedRun) -> ReconciliationResult:
+    """A :class:`ReconciliationResult` for the whole sharded run."""
+    partitions = merge_partitions(sharded.outcomes, sharded.fixpoint)
+    uf = UnionFind()
+    for clusters in partitions.values():
+        for cluster in clusters:
+            first = cluster[0]
+            uf.find(first)
+            for other in cluster[1:]:
+                uf.union(first, other)
+    stats = merge_stats(sharded)
+    completed = all(outcome.completed for outcome in sharded.outcomes)
+    stop_reason = "converged"
+    for outcome in sharded.outcomes:
+        if not outcome.completed:
+            stop_reason = outcome.stop_reason
+            break
+    if sharded.fixpoint.ran and not sharded.fixpoint.result.completed:
+        completed = False
+        stop_reason = sharded.fixpoint.result.stop_reason
+    return ReconciliationResult(
+        partitions=partitions,
+        uf=uf,
+        stats=stats,
+        completed=completed,
+        stop_reason=stop_reason,
+        degradations=list(stats.degradations),
+    )
+
+
+@dataclass
+class MergedRun:
+    """Duck-typed stand-in for a ``Reconciler`` in manifest building.
+
+    :func:`repro.obs.manifest.build_manifest` only reads ``stats``,
+    ``config`` and ``telemetry`` (plus optional relay/hotspots
+    attributes via ``getattr`` defaults) from the reconciler it is
+    given, so this thin shim lets a sharded run reuse the exact same
+    manifest pipeline as a serial one.
+    """
+
+    stats: EngineStats
+    config: EngineConfig
+    telemetry: object = NULL_TELEMETRY
+    hotspots: object | None = None
+
+
+def build_sharded_manifest(
+    *,
+    dataset,
+    sharded: ShardedRun,
+    result: ReconciliationResult,
+    config: EngineConfig,
+    algorithm: str = "depgraph",
+    artifacts: dict | None = None,
+) -> dict:
+    """The run manifest for a sharded run.
+
+    Identical invariant core to the serial manifest (same fingerprint,
+    digest, quality, counters); the shard plan, per-shard engine rows
+    and fixpoint land in the execution section.
+    """
+    shard_rows = [
+        {
+            "shard": outcome.shard,
+            "references": outcome.references,
+            "merges": outcome.stats.merges,
+            "recomputations": outcome.stats.recomputations,
+            "seconds": outcome.seconds,
+            "peak_rss_kb": outcome.peak_rss_kb,
+            "completed": outcome.completed,
+            "resumed": outcome.resumed,
+            "attempts": outcome.attempts,
+            "in_process": outcome.ran_in_process,
+        }
+        for outcome in sharded.outcomes
+    ]
+    return build_manifest(
+        dataset=dataset,
+        reconciler=MergedRun(stats=result.stats, config=config),
+        result=result,
+        algorithm=algorithm,
+        artifacts=artifacts,
+        resumed=sharded.resumed,
+        shards={
+            "count": sharded.plan.shards,
+            "shard_workers": sharded.shard_workers,
+            "plan": sharded.plan.describe(),
+            "fixpoint": sharded.fixpoint.describe(),
+            "per_shard": shard_rows,
+        },
+    )

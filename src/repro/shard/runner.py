@@ -1,0 +1,368 @@
+"""Sharded execution: one full DepGraph engine per shard.
+
+The runner takes a :class:`~repro.shard.plan.ShardPlan`, slices the
+reference store into per-shard sub-stores (preserving store order, the
+determinism anchor), runs a complete engine per shard — serially
+in-process, or each shard in its own forked worker process when
+``shard_workers > 1`` — then reconciles the cut with
+:func:`~repro.shard.fixpoint.cross_shard_fixpoint` and hands everything
+to :mod:`repro.shard.merge`.
+
+Supervision mirrors the build scorer's ladder: a shard process that
+dies or raises is retried **in-process in the parent** (the rung that
+cannot lose a process), recorded as a ``shard_fallback`` degradation.
+Checkpoints nest one directory per shard (``<dir>/shard-<i>/``) and
+``resume=True`` resumes every shard that left a checkpoint behind —
+shards that already finished before a crash simply re-run from their
+checkpointed tail or from scratch, converging to the identical result
+either way.
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+
+from ..core.engine import EngineStats, Reconciler
+from ..core.model import EngineConfig
+from ..core.references import ReferenceStore
+from ..obs.provenance import ProvenanceLog
+from ..obs.telemetry import Telemetry
+from ..perf.parallel import domain_spec, rebuild_domain
+from ..runtime.guards import DegradationEvent
+from .fixpoint import FixpointOutcome, cross_shard_fixpoint
+from .plan import ShardPlan, plan_shards
+
+__all__ = ["ShardOutcome", "ShardedRun", "run_sharded", "shard_checkpoint_dir"]
+
+
+def shard_checkpoint_dir(root: str | Path, shard: int) -> Path:
+    """Where shard *shard* checkpoints under a sharded run's root."""
+    return Path(root) / f"shard-{shard}"
+
+
+@dataclass
+class ShardOutcome:
+    """Everything one finished shard engine ships back to the parent.
+
+    Plain data (dicts, tuples, dataclasses of ints) so the process path
+    pickles it unchanged; ``provenance`` carries decision records as
+    dicts in shard-local ``seq`` order — each pair lives in exactly one
+    shard, so per-pair decision order survives any merge ordering.
+    """
+
+    shard: int
+    references: int
+    partitions: dict[str, list[list[str]]]
+    stats: EngineStats
+    provenance: list[dict]
+    value_node_keys: list[tuple[str, str, str]]
+    completed: bool
+    stop_reason: str
+    seconds: float
+    peak_rss_kb: int
+    resumed: bool = False
+    attempts: int = 1
+    ran_in_process: bool = True
+
+
+@dataclass
+class ShardedRun:
+    """The full sharded execution: plan, shard outcomes, fixpoint."""
+
+    plan: ShardPlan
+    outcomes: list[ShardOutcome]
+    fixpoint: FixpointOutcome
+    shard_workers: int
+    #: runner-level degradations (shard fallbacks), merged into the
+    #: final stats alongside each shard's own degradation trail.
+    degradations: list[DegradationEvent] = field(default_factory=list)
+    resumed: bool = False
+
+
+def _execute_shard(
+    shard: int,
+    sub_store: ReferenceStore,
+    domain,
+    config: EngineConfig,
+    *,
+    checkpoint_root: str | None,
+    checkpoint_every: int,
+    resume: bool,
+    chaos,
+    step_hook=None,
+    in_child: bool,
+) -> ShardOutcome:
+    if chaos is not None:
+        chaos.before_shard(shard, in_child=in_child)
+    started = time.perf_counter()
+    checkpointer = None
+    provenance_path = None
+    prior_provenance: list[dict] = []
+    resumed = False
+    if checkpoint_root:
+        from ..runtime.checkpoint import Checkpointer
+
+        shard_dir = shard_checkpoint_dir(checkpoint_root, shard)
+        checkpointer = Checkpointer(shard_dir, every=checkpoint_every)
+        # Shard provenance persists next to the shard checkpoint so a
+        # resumed shard keeps the decisions its crashed attempt made
+        # (the merge would otherwise hand an incomplete audit trail to
+        # the run directory's provenance.jsonl).
+        provenance_path = shard_dir / "provenance.jsonl"
+        will_resume = resume and checkpointer.path.exists()
+        if will_resume and provenance_path.exists():
+            prior_provenance = [
+                record.to_dict()
+                for record in ProvenanceLog.from_jsonl(provenance_path).records
+            ]
+        elif not will_resume:
+            provenance_path.unlink(missing_ok=True)
+    telemetry = Telemetry(provenance=ProvenanceLog(jsonl_path=provenance_path))
+    if (
+        resume
+        and checkpointer is not None
+        and checkpointer.path.exists()
+    ):
+        engine = Reconciler.resume(
+            checkpointer.path,
+            store=sub_store,
+            domain=domain,
+            config=config,
+            telemetry=telemetry,
+        )
+        resumed = True
+    else:
+        engine = Reconciler(sub_store, domain, config, telemetry=telemetry)
+    if chaos is not None:
+        # Build/iterate chunk chaos still applies inside a shard.
+        engine.chaos = chaos
+    try:
+        result = engine.run(checkpointer=checkpointer, step_hook=step_hook)
+    finally:
+        telemetry.provenance.close()
+    peak_rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    provenance = prior_provenance + [
+        record.to_dict() for record in telemetry.provenance.records
+    ]
+    for seq, row in enumerate(provenance):
+        # An append-continued trail restarts seq mid-stream; re-number
+        # positionally so per-pair order survives the canonical merge.
+        row["seq"] = seq
+    return ShardOutcome(
+        shard=shard,
+        references=len(sub_store),
+        partitions=result.partitions,
+        stats=engine.stats,
+        provenance=provenance,
+        value_node_keys=engine.graph.value_node_keys(),
+        completed=result.completed,
+        stop_reason=result.stop_reason,
+        seconds=round(time.perf_counter() - started, 6),
+        peak_rss_kb=peak_rss_kb,
+        resumed=resumed,
+        ran_in_process=not in_child,
+    )
+
+
+def _shard_worker(payload) -> ShardOutcome:
+    """Top-level entry for the per-shard worker process."""
+    (
+        shard,
+        spec,
+        schema,
+        references,
+        known_external,
+        config,
+        checkpoint_root,
+        checkpoint_every,
+        resume,
+        chaos,
+    ) = payload
+    domain = rebuild_domain(spec)
+    sub_store = ReferenceStore(schema, references, known_external=known_external)
+    return _execute_shard(
+        shard,
+        sub_store,
+        domain,
+        config,
+        checkpoint_root=checkpoint_root,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+        chaos=chaos,
+        in_child=True,
+    )
+
+
+def run_sharded(
+    store: ReferenceStore,
+    domain,
+    config: EngineConfig | None = None,
+    *,
+    shards: int,
+    shard_workers: int = 1,
+    plan: ShardPlan | None = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 500,
+    resume: bool = False,
+    chaos=None,
+    telemetry: Telemetry | None = None,
+    step_hooks: dict[int, object] | None = None,
+) -> ShardedRun:
+    """Run the full reconciliation sharded; returns the raw outcomes.
+
+    *telemetry* is the **parent's** sink: shard lifecycle events land
+    there, while every shard engine records its own in-memory
+    provenance (merged later). *step_hooks* maps shard index to a
+    ``step_hook`` for that shard's engine — the fault-injection seam
+    for mid-shard crash/resume tests; hooks force in-process execution
+    and their exceptions propagate (only *process* failures ride the
+    retry ladder).
+    """
+    config = config or EngineConfig()
+    if plan is None:
+        plan = plan_shards(
+            store, domain, shards=shards, max_block_size=config.max_block_size
+        )
+    checkpoint_root = str(checkpoint_dir) if checkpoint_dir else None
+    refs_by_shard = [
+        [store.get(ref_id) for ref_id in members] for members in plan.members
+    ]
+    degradations: list[DegradationEvent] = []
+    outcomes: dict[int, ShardOutcome] = {}
+
+    def _emit(level, event, **fields):
+        if telemetry is not None:
+            telemetry.emit(level, event, **fields)
+
+    _emit(
+        "info",
+        "shard_plan",
+        shards=plan.shards,
+        components=plan.component_count,
+        cut_pairs=len(plan.cut_pairs),
+        gini=round(plan.gini, 4),
+    )
+
+    use_processes = (
+        shard_workers > 1 and plan.shards > 1 and not step_hooks
+    )
+    spec = domain_spec(domain) if use_processes else None
+    if use_processes and spec is None:
+        degradations.append(
+            DegradationEvent(
+                kind="shard_fallback",
+                detail="domain not rebuildable in a worker process; "
+                "all shards ran in-process",
+            )
+        )
+        use_processes = False
+
+    failed: list[int] = []
+    if use_processes:
+        all_ids = frozenset(reference.ref_id for reference in store)
+        payloads = {
+            shard: (
+                shard,
+                spec,
+                store.schema,
+                refs_by_shard[shard],
+                all_ids.difference(plan.members[shard]),
+                config,
+                checkpoint_root,
+                checkpoint_every,
+                resume,
+                chaos,
+            )
+            for shard in range(plan.shards)
+        }
+        with ProcessPoolExecutor(
+            max_workers=min(shard_workers, plan.shards),
+            mp_context=get_context("fork"),
+        ) as pool:
+            futures = {
+                shard: pool.submit(_shard_worker, payload)
+                for shard, payload in payloads.items()
+            }
+            for shard, future in futures.items():
+                try:
+                    outcomes[shard] = future.result()
+                    _emit(
+                        "info",
+                        "shard_end",
+                        shard=shard,
+                        merges=outcomes[shard].stats.merges,
+                        seconds=outcomes[shard].seconds,
+                    )
+                except BaseException as exc:
+                    # A dead child poisons the pool (BrokenProcessPool
+                    # for every pending future); each failed shard gets
+                    # the in-process rung below.
+                    failed.append(shard)
+                    _emit(
+                        "warning",
+                        "shard_failed",
+                        shard=shard,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+    else:
+        failed = list(range(plan.shards))
+
+    for shard in sorted(failed):
+        attempts = 1
+        if use_processes:
+            # The ladder's bottom rung: rerun in-process in the parent,
+            # which cannot lose a process. Recorded as a degradation so
+            # the manifest and `repro doctor` say what happened.
+            attempts = 2
+            degradations.append(
+                DegradationEvent(
+                    kind="shard_fallback",
+                    detail=f"shard {shard} worker failed; "
+                    "re-ran in-process in the parent",
+                )
+            )
+        _emit("info", "shard_start", shard=shard, in_process=True)
+        outcome = _execute_shard(
+            shard,
+            store.subset(plan.members[shard]),
+            domain,
+            config,
+            checkpoint_root=checkpoint_root,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+            chaos=chaos,
+            step_hook=(step_hooks or {}).get(shard),
+            in_child=False,
+        )
+        outcome.attempts = attempts
+        outcomes[shard] = outcome
+        _emit(
+            "info",
+            "shard_end",
+            shard=shard,
+            merges=outcome.stats.merges,
+            seconds=outcome.seconds,
+        )
+
+    ordered = [outcomes[shard] for shard in range(plan.shards)]
+    fixpoint = cross_shard_fixpoint(store, domain, config, plan, ordered)
+    _emit(
+        "info",
+        "shard_fixpoint",
+        rounds=fixpoint.rounds,
+        messages=fixpoint.messages,
+        boundary_pairs=fixpoint.boundary_pairs,
+    )
+    return ShardedRun(
+        plan=plan,
+        outcomes=ordered,
+        fixpoint=fixpoint,
+        shard_workers=shard_workers,
+        degradations=degradations,
+        resumed=resume,
+    )

@@ -84,6 +84,7 @@ class TestDrivers:
             assert row["graph_nodes"] > 0
         assert "constraints" in render_table6(rows)
 
+    @pytest.mark.slow
     def test_table7_uses_full_cora(self):
         rows = table7_cora()
         assert [row["class"] for row in rows] == ["Person", "Article", "Venue"]

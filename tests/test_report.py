@@ -1,9 +1,12 @@
 """Tests for the one-shot reproduction report."""
 
+import pytest
+
 from repro.evaluation.report import build_report, shape_checklist, write_report
 
 
 class TestReport:
+    @pytest.mark.slow
     def test_build_report_structure(self):
         report = build_report(scale=0.2)
         assert "# Reproduction report" in report
@@ -11,6 +14,7 @@ class TestReport:
         for table in ("Table 1", "Table 5", "Table 7", "Figure 6"):
             assert f"## {table}" in report
 
+    @pytest.mark.slow
     def test_write_report(self, tmp_path):
         path = write_report(tmp_path / "report.md", scale=0.2)
         assert path.exists()

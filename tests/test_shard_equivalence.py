@@ -1,0 +1,331 @@
+"""Differential test pack: sharded reconciliation ≡ serial.
+
+The contract under test (see DESIGN.md "Sharded execution"): for every
+dataset and every shard count, ``run_sharded`` merged back together is
+**byte-identical** to the whole-graph run — same partition JSON, same
+canonical provenance multiset, same outcome counters — across the
+default component planner, forced split plans (cross-shard fixpoint),
+worker processes, and crash/resume inside a shard.
+"""
+
+import pytest
+
+from repro.core import Reconciler, ReferenceStore
+from repro.core.model import EngineConfig
+from repro.datasets import generate_cora_dataset, generate_pim_dataset
+from repro.datasets.cora import CoraConfig
+from repro.domains import CoraDomainModel, PimDomainModel
+from repro.obs.manifest import _COUNTER_FIELDS, partition_digest
+from repro.obs.provenance import ProvenanceLog
+from repro.obs.telemetry import Telemetry
+from repro.shard import (
+    canonical_provenance,
+    merge_provenance,
+    merged_result,
+    plan_shards,
+    run_sharded,
+)
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _domain_for(name: str):
+    return CoraDomainModel() if name == "cora" else PimDomainModel()
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    """name -> (dataset, domain); small scales keep the matrix quick."""
+    built = {}
+    for name in ("A", "B", "C", "D"):
+        built[name] = (generate_pim_dataset(name, scale=0.15), PimDomainModel())
+    built["cora"] = (
+        generate_cora_dataset(
+            CoraConfig(n_papers=25, n_citations=200, n_authors=50, n_venues=10)
+        ),
+        CoraDomainModel(),
+    )
+    return built
+
+
+@pytest.fixture(scope="module")
+def serial_runs(worlds):
+    """name -> (result, canonical provenance, stats) of the serial run."""
+    runs = {}
+    for name, (dataset, domain) in worlds.items():
+        telemetry = Telemetry(provenance=ProvenanceLog())
+        engine = Reconciler(dataset.store, domain, EngineConfig(), telemetry=telemetry)
+        result = engine.run()
+        runs[name] = (
+            result,
+            canonical_provenance(
+                [record.to_dict() for record in telemetry.provenance.records]
+            ),
+            engine.stats,
+        )
+    return runs
+
+
+def _assert_equivalent(sharded, serial_result, serial_prov, serial_stats):
+    result = merged_result(sharded)
+    assert result.partitions == serial_result.partitions
+    assert partition_digest(result.partitions) == partition_digest(
+        serial_result.partitions
+    )
+    assert canonical_provenance(merge_provenance(sharded)) == serial_prov
+    for name in _COUNTER_FIELDS:
+        assert getattr(result.stats, name) == getattr(serial_stats, name), name
+    return result
+
+
+class TestComponentPlanner:
+    @pytest.mark.parametrize("name", ["A", "B", "C", "D", "cora"])
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_sharded_equals_serial(self, worlds, serial_runs, name, shards):
+        dataset, domain = worlds[name]
+        sharded = run_sharded(dataset.store, domain, EngineConfig(), shards=shards)
+        _assert_equivalent(sharded, *serial_runs[name])
+        # The default planner is component-closed: fixpoint fast path.
+        assert sharded.plan.component_closed
+        assert sharded.fixpoint.rounds == 1
+        assert sharded.fixpoint.messages == 0
+
+    def test_plan_is_deterministic(self, worlds):
+        dataset, domain = worlds["B"]
+        plans = [plan_shards(dataset.store, domain, shards=3) for _ in range(2)]
+        assert plans[0].assignment == plans[1].assignment
+        assert plans[0].members == plans[1].members
+        assert plans[0].weights == plans[1].weights
+
+    def test_every_reference_assigned_once(self, worlds):
+        dataset, domain = worlds["A"]
+        plan = plan_shards(dataset.store, domain, shards=3)
+        flattened = [ref_id for members in plan.members for ref_id in members]
+        assert sorted(flattened) == sorted(r.ref_id for r in dataset.store)
+        assert sum(plan.reference_counts) == len(dataset.store)
+
+
+class TestWorkerMatrix:
+    """Sharding crossed with the intra-shard parallel knobs."""
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [{"workers": 2}, {"iterate_workers": 2, "iterate_batch": 16}],
+        ids=["build-workers", "iterate-workers"],
+    )
+    def test_parallel_inside_shards(self, worlds, serial_runs, overrides):
+        from dataclasses import replace
+
+        dataset, domain = worlds["A"]
+        config = replace(EngineConfig(), **overrides)
+        sharded = run_sharded(dataset.store, domain, config, shards=2)
+        _assert_equivalent(sharded, *serial_runs["A"])
+
+    def test_shard_worker_processes(self, worlds, serial_runs):
+        dataset, domain = worlds["A"]
+        sharded = run_sharded(
+            dataset.store, domain, EngineConfig(), shards=2, shard_workers=2
+        )
+        result = _assert_equivalent(sharded, *serial_runs["A"])
+        assert not result.degraded
+        assert all(o.peak_rss_kb > 0 for o in sharded.outcomes)
+
+
+class TestCrashResume:
+    def test_crash_mid_shard_then_resume(self, worlds, serial_runs, tmp_path):
+        dataset, domain = worlds["A"]
+
+        class CrashAtStep(RuntimeError):
+            pass
+
+        def crash_hook(engine, step):
+            if step == 30:
+                raise CrashAtStep(f"injected at step {step}")
+
+        with pytest.raises(CrashAtStep):
+            run_sharded(
+                dataset.store,
+                domain,
+                EngineConfig(),
+                shards=2,
+                checkpoint_dir=tmp_path,
+                checkpoint_every=10,
+                step_hooks={0: crash_hook},
+            )
+        assert (tmp_path / "shard-0" / "checkpoint.json").exists()
+        sharded = run_sharded(
+            dataset.store,
+            domain,
+            EngineConfig(),
+            shards=2,
+            checkpoint_dir=tmp_path,
+            resume=True,
+        )
+        assert sharded.outcomes[0].resumed
+        serial_result, serial_prov, serial_stats = serial_runs["A"]
+        result = merged_result(sharded)
+        assert result.partitions == serial_result.partitions
+        for name in _COUNTER_FIELDS:
+            assert getattr(result.stats, name) == getattr(serial_stats, name), name
+        # The crashed attempt's decisions persist next to the shard
+        # checkpoint; steps between the last checkpoint and the crash
+        # re-execute on resume, so (exactly like a serial resumed run's
+        # append-continued provenance.jsonl) identical duplicate
+        # records may appear — compare decision *sets*.
+        assert set(canonical_provenance(merge_provenance(sharded))) == set(
+            serial_prov
+        )
+
+
+class TestSplitPlanFixpoint:
+    """Force the single interaction component apart: the cross-shard
+    fixpoint must repair the cut back to the serial result."""
+
+    def _split_plan(self, dataset, domain, shards=2):
+        refs = sorted(r.ref_id for r in dataset.store)
+        assignment = {rid: i % shards for i, rid in enumerate(refs)}
+        # Enemy constraints must stay co-shard (merges are monotone; a
+        # blinded shard merging an enemy pair is unrecoverable).
+        for left, right in domain.distinct_pairs(dataset.store):
+            assignment[right] = assignment[left]
+        return plan_shards(
+            dataset.store, domain, shards=shards, assignment=assignment
+        )
+
+    def test_fixpoint_repairs_cut(self, worlds, serial_runs):
+        dataset, domain = worlds["A"]
+        plan = self._split_plan(dataset, domain)
+        assert not plan.component_closed
+        assert plan.split_components >= 1
+        assert len(plan.cut_pairs) > 0
+        sharded = run_sharded(
+            dataset.store, domain, EngineConfig(), shards=2, plan=plan
+        )
+        assert sharded.fixpoint.ran
+        assert sharded.fixpoint.rounds >= 2
+        assert sharded.fixpoint.messages > 0
+        assert sharded.fixpoint.boundary_pairs == len(plan.cut_pairs)
+        _assert_equivalent(sharded, *serial_runs["A"])
+
+    def test_fixpoint_terminates_with_round_count(self, worlds):
+        dataset, domain = worlds["D"]
+        plan = self._split_plan(dataset, domain)
+        sharded = run_sharded(
+            dataset.store, domain, EngineConfig(), shards=2, plan=plan
+        )
+        # Termination is the loop exiting at all; the recorded rounds
+        # include the final pass that committed nothing new.
+        assert sharded.fixpoint.describe()["rounds"] == sharded.fixpoint.rounds
+        assert sharded.fixpoint.rounds >= 2
+
+    def test_assignment_must_cover_store(self, worlds):
+        dataset, domain = worlds["A"]
+        with pytest.raises(ValueError, match="misses"):
+            plan_shards(dataset.store, domain, shards=2, assignment={"x": 0})
+
+
+class TestMultiComponentBalance:
+    """Disjoint person families in one store: the planner must see one
+    component per family and spread them over the shards. PIM/Cora
+    worlds are a single interaction component (shared surnames, venue
+    normalisation and associations connect everything — the paper's
+    premise), so multi-component packing needs content-disjoint input."""
+
+    @staticmethod
+    def _family_store(families: int, size: int) -> ReferenceStore:
+        from repro.core import Reference
+
+        store = ReferenceStore(PimDomainModel().schema)
+        for f in range(families):
+            # Letter-indexed names: digits would split into shared
+            # tokens ("Zblat0ov" -> surname token "ov" in every family)
+            # and re-connect the components through one block.
+            tag = chr(ord("a") + f)
+            surname = f"Zblat{tag}ov"
+            for member in range(size):
+                store.add(
+                    Reference(
+                        f"fam{tag}:p{member}",
+                        "Person",
+                        {
+                            "name": (f"Qir{tag}ian {surname}",),
+                            "email": (
+                                f"qir{tag}ian.m{member}@fam{tag}.example",
+                            ),
+                        },
+                    )
+                )
+        store.validate()
+        return store
+
+    def test_components_pack_into_balanced_shards(self):
+        domain = PimDomainModel()
+        store = self._family_store(families=6, size=5)
+        plan = plan_shards(store, domain, shards=2)
+        assert plan.component_count == 6
+        assert all(count > 0 for count in plan.reference_counts)
+        assert plan.component_closed
+        # Equal-weight components pack evenly: Gini stays near zero.
+        assert plan.gini < 0.2
+
+        serial = Reconciler(store, domain, EngineConfig()).run()
+        sharded = run_sharded(store, domain, EngineConfig(), shards=2)
+        assert merged_result(sharded).partitions == serial.partitions
+
+
+class TestEngineInvariants:
+    """Invariants the merged run must satisfy regardless of plan."""
+
+    def _check(self, store, domain, partitions):
+        for left, right in domain.distinct_pairs(store):
+            for clusters in partitions.values():
+                for cluster in clusters:
+                    assert not (left in cluster and right in cluster), (
+                        f"enemies {left}/{right} co-clustered"
+                    )
+        for class_name, clusters in partitions.items():
+            seen = set()
+            for cluster in clusters:
+                assert cluster == sorted(cluster)
+                for ref_id in cluster:
+                    assert ref_id not in seen, f"{ref_id} in two clusters"
+                    seen.add(ref_id)
+            assert seen == {
+                r.ref_id for r in store.of_class(class_name)
+            }
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_merged_partition_invariants(self, worlds, shards):
+        dataset, domain = worlds["B"]
+        sharded = run_sharded(dataset.store, domain, EngineConfig(), shards=shards)
+        self._check(dataset.store, domain, merged_result(sharded).partitions)
+
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+class TestPropertySharding:
+    """Property over synthetic worlds: sharded ≡ serial, plus the
+    engine invariants, for arbitrary seeds/scales/shard counts."""
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        name=st.sampled_from(["A", "D"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        scale=st.sampled_from([0.08, 0.12]),
+        shards=st.integers(min_value=2, max_value=5),
+    )
+    def test_sharded_equals_serial(self, name, seed, scale, shards):
+        dataset = generate_pim_dataset(name, seed=seed, scale=scale)
+        domain = PimDomainModel()
+        serial = Reconciler(dataset.store, domain, EngineConfig()).run()
+        sharded = run_sharded(dataset.store, domain, EngineConfig(), shards=shards)
+        result = merged_result(sharded)
+        assert result.partitions == serial.partitions
+        TestEngineInvariants()._check(dataset.store, domain, result.partitions)

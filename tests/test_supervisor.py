@@ -92,6 +92,7 @@ class TestCleanRuns:
             SupervisedScorer(PimDomainModel(), 1)
 
 
+@pytest.mark.soak
 class TestChaosRecovery:
     def test_single_worker_kill_recovers_identically(self, tiny_pim_a, tmp_path):
         serial = Reconciler(tiny_pim_a.store, PimDomainModel()).run()
